@@ -1,0 +1,72 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -id fig5a [-scale quick|paper]
+//	experiments -all [-scale quick|paper]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		id    = flag.String("id", "", "experiment id (see -list)")
+		all   = flag.Bool("all", false, "run every experiment")
+		list  = flag.Bool("list", false, "list experiment ids")
+		scale = flag.String("scale", "quick", "quick or paper")
+		plot  = flag.Bool("plot", false, "render series as ASCII charts")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, eid := range exp.IDs() {
+			e, _ := exp.Lookup(eid)
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var sc exp.Scale
+	switch *scale {
+	case "quick":
+		sc = exp.QuickScale()
+	case "paper":
+		sc = exp.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (quick or paper)\n", *scale)
+		os.Exit(2)
+	}
+
+	ids := []string{*id}
+	if *all {
+		ids = exp.IDs()
+	} else if *id == "" {
+		fmt.Fprintln(os.Stderr, "need -id, -all, or -list")
+		os.Exit(2)
+	}
+
+	for _, eid := range ids {
+		start := time.Now()
+		r, err := exp.Run(eid, sc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(r.String())
+		if *plot && len(r.Series) > 0 {
+			opt := analysis.DefaultPlotOptions()
+			opt.LogX = true
+			fmt.Print(analysis.Plot(r.Series, opt))
+		}
+		fmt.Printf("(%s scale, %v)\n\n", sc.Name, time.Since(start).Round(time.Millisecond))
+	}
+}

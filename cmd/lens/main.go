@@ -1,0 +1,92 @@
+// Command lens runs the LENS probers against a simulated memory system and
+// prints the reverse-engineered characterization report (the Figure 4
+// parameter set).
+//
+// Usage:
+//
+//	lens [-system vans|optane|pmep|pcm] [-scale quick|paper]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/baseline"
+	"repro/internal/exp"
+	"repro/internal/lens"
+	"repro/internal/mem"
+	"repro/internal/optane"
+	"repro/internal/vans"
+)
+
+func main() {
+	var (
+		system = flag.String("system", "vans", "vans, optane, pmep, or pcm")
+		scale  = flag.String("scale", "quick", "quick or paper")
+	)
+	flag.Parse()
+
+	var sc exp.Scale
+	switch *scale {
+	case "quick":
+		sc = exp.QuickScale()
+	case "paper":
+		sc = exp.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	var mk lens.MakeSystem
+	switch *system {
+	case "vans":
+		cfg := vans.DefaultConfig()
+		cfg.NV.WearThreshold = sc.WearThreshold
+		cfg.NV.MigrationNs = sc.MigrationNs
+		if sc.Divisor > 1 {
+			cfg.NV.RMWEntries = 16
+			cfg.NV.AITEntries = 64
+			cfg.NV.AITWays = 8
+			cfg.NV.Media.Capacity = 64 << 20
+		}
+		mk = func() mem.System { return vans.New(cfg) }
+	case "optane":
+		p := optane.DefaultParams()
+		p.TailEvery = sc.WearThreshold
+		p.TailStallNs = sc.MigrationNs
+		mk = func() mem.System {
+			return optane.New(optane.Config{Params: p, DIMMs: 1, Seed: 7})
+		}
+	case "pmep":
+		mk = func() mem.System { return baseline.NewPMEP(baseline.DefaultPMEP(), 3) }
+	case "pcm":
+		mk = func() mem.System { return baseline.NewSlowDRAM(baseline.RamulatorPCM) }
+	default:
+		fmt.Fprintf(os.Stderr, "unknown system %q\n", *system)
+		os.Exit(2)
+	}
+
+	bp := lens.BufferProberConfig{
+		Regions:      sc.Regions,
+		BlockSizes:   sc.BlockSizes,
+		KneeRatio:    1.25,
+		MaxReadKnees: 2,
+		Options:      sc.Opt,
+	}
+	pc := lens.PolicyProberConfig{
+		OverwriteIters: sc.OverwriteIters,
+		TailFactor:     8,
+		Regions:        analysis.LogSpace(256, 8<<10, 2),
+		SeqSizes:       analysis.LogSpace(1<<10, 32<<10, 2),
+		Options:        sc.Opt,
+	}
+	c := lens.Characterize(mk, bp, pc)
+	fmt.Printf("target system: %s (%s scale)\n\n", *system, sc.Name)
+	fmt.Print(c.Report())
+	fmt.Println("\nRead latency curve:")
+	fmt.Print(c.Buffers.ReadCurve.String())
+	fmt.Println("Write latency curve:")
+	fmt.Print(c.Buffers.WriteCurve.String())
+}

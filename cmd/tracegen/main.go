@@ -1,0 +1,88 @@
+// Command tracegen captures the post-cache memory trace of a workload
+// running on the CPU substrate, writing it in the text or binary trace
+// format for later replay with cmd/vans (the paper's LENS-capture ->
+// VANS-trace-mode flow).
+//
+// Usage:
+//
+//	tracegen -workload Redis -instructions 50000 > redis.trace
+//	tracegen -workload mcf -binary -out mcf.vtr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cpu"
+	"repro/internal/trace"
+	"repro/internal/vans"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		name         = flag.String("workload", "Redis", "cloud workload (FIO-write, YCSB, TPCC, HashMap, Redis, LinkedList) or SPEC bench name (mcf, lbm, ...)")
+		instructions = flag.Int("instructions", 50000, "instructions to execute")
+		seed         = flag.Uint64("seed", 1, "generator seed")
+		footprint    = flag.Uint64("footprint", 16<<20, "working set bytes")
+		binary       = flag.Bool("binary", false, "write the compact binary format")
+		out          = flag.String("out", "", "output path (default stdout)")
+	)
+	flag.Parse()
+
+	var w cpu.Workload
+	if b, ok := workload.SPECBenchByName(*name); ok {
+		b.FootprintMB = float64(*footprint) / (1 << 20)
+		w = workload.SPEC(b, *instructions, *seed)
+	} else {
+		w = workload.Cloud(*name, workload.CloudOptions{
+			Instructions: *instructions,
+			Seed:         *seed,
+			Footprint:    *footprint,
+		})
+	}
+	if w == nil {
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *name)
+		os.Exit(2)
+	}
+
+	cfg := vans.DefaultConfig()
+	cfg.NV.Media.Capacity = 256 << 20
+	sys := vans.New(cfg)
+	col := trace.NewCollector(sys)
+	core := cpu.New(cpu.DefaultConfig(), col)
+	st := core.Run(w)
+
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		dst = f
+	}
+
+	if *binary {
+		if err := trace.WriteBinary(dst, col.Records); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		tw := trace.NewWriter(dst)
+		for _, rec := range col.Records {
+			if err := tw.Write(rec); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if err := tw.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "captured %d memory accesses from %d instructions (IPC %.2f)\n",
+		len(col.Records), st.Instructions, st.IPC(2.2))
+}

@@ -1,0 +1,8 @@
+// Package repro is a pure-Go reproduction of "Characterizing and Modeling
+// Non-Volatile Memory Systems" (MICRO 2020): the LENS low-level NVRAM
+// profiler, the VANS validated NVRAM simulator modeling the Optane DIMM
+// microarchitecture, the Lazy cache and Pre-translation optimizations, and
+// a benchmark harness regenerating every table and figure in the paper's
+// evaluation. See README.md for the architecture overview and DESIGN.md for
+// the per-experiment index.
+package repro

@@ -1,0 +1,67 @@
+// Characterize: the headline reverse-engineering loop — run the LENS
+// probers against a VANS instance and against the empirical Optane
+// reference, and compare what they recover with what was configured.
+//
+//	go run ./examples/characterize
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/lens"
+	"repro/internal/mem"
+	"repro/internal/optane"
+	"repro/internal/vans"
+)
+
+func main() {
+	// A scaled VANS (RMW 4KB, AIT 256KB, LSQ 1KB) keeps the sweeps quick;
+	// the probers do not know these numbers — they must recover them.
+	cfg := vans.DefaultConfig()
+	cfg.NV.RMWEntries = 16 // 16 x 256B = 4KB
+	cfg.NV.AITEntries = 64 // 64 x 4KB = 256KB
+	cfg.NV.AITWays = 8
+	cfg.NV.LSQSlots = 16 // 16 x 64B = 1KB
+	cfg.NV.Media.Capacity = 64 << 20
+	cfg.NV.WearThreshold = 60
+	cfg.NV.MigrationNs = 30000
+	mkV := func() mem.System { return vans.New(cfg) }
+
+	opts := lens.Options{MaxSteps: 4000, WarmPasses: 1, Window: 8, Seed: 42}
+	bp := lens.BufferProberConfig{
+		Regions:      analysis.LogSpace(512, 2<<20, 2),
+		BlockSizes:   analysis.LogSpace(64, 8<<10, 2),
+		KneeRatio:    1.25,
+		MaxReadKnees: 2,
+		Options:      opts,
+	}
+	pc := lens.PolicyProberConfig{
+		OverwriteIters: 400,
+		TailFactor:     8,
+		Regions:        analysis.LogSpace(256, 4<<10, 2),
+		SeqSizes:       analysis.LogSpace(1<<10, 16<<10, 2),
+		Options:        opts,
+	}
+
+	fmt.Println("== LENS vs VANS (configured values known, recovered blind) ==")
+	c := lens.Characterize(mkV, bp, pc)
+	fmt.Print(c.Report())
+	fmt.Printf("\nconfigured: RMW %s, AIT %s, LSQ %s, wear threshold %d writes, migration %.0fus\n",
+		mem.Bytes(cfg.NV.RMWBytes()), mem.Bytes(cfg.NV.AITBytes()),
+		mem.Bytes(cfg.NV.LSQBytes()), cfg.NV.WearThreshold, cfg.NV.MigrationNs/1000)
+
+	// The same probers against the behavioral reference of the real
+	// machine (full-size structures here).
+	fmt.Println("\n== LENS vs the Optane reference model ==")
+	p := optane.DefaultParams()
+	p.TailEvery = 300 // keep the policy prober run short
+	mkO := func() mem.System {
+		return optane.New(optane.Config{Params: p, DIMMs: 1, Seed: 7})
+	}
+	bp.Regions = analysis.LogSpace(512, 64<<20, 2)
+	pc.OverwriteIters = 2000
+	cO := lens.Characterize(mkO, bp, pc)
+	fmt.Print(cO.Report())
+	fmt.Println("\nexpected: 16K and 16M read buffers — the paper's Figure 4 blue numbers")
+}

@@ -1,0 +1,312 @@
+// Package analysis provides the curve-analysis primitives LENS uses to turn
+// latency measurements into microarchitecture parameters — inflection (knee)
+// detection, amplification scores, tail-latency counting — plus the
+// series/table containers and accuracy metrics the experiment harness uses
+// to regenerate the paper's figures.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one plotted curve: y = f(x) with axis labels.
+type Series struct {
+	Name   string
+	XLabel string
+	YLabel string
+	X      []float64
+	Y      []float64
+}
+
+// Add appends one point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the point count.
+func (s *Series) Len() int { return len(s.X) }
+
+// YAt returns the y value at the first x >= target (or the last y).
+func (s *Series) YAt(target float64) float64 {
+	for i, x := range s.X {
+		if x >= target {
+			return s.Y[i]
+		}
+	}
+	if len(s.Y) == 0 {
+		return 0
+	}
+	return s.Y[len(s.Y)-1]
+}
+
+// String renders the series as aligned columns.
+func (s *Series) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s: %s vs %s\n", s.Name, s.YLabel, s.XLabel)
+	for i := range s.X {
+		fmt.Fprintf(&b, "%14.0f %12.2f\n", s.X[i], s.Y[i])
+	}
+	return b.String()
+}
+
+// Table is a printable rows-and-columns result (one per paper table, and the
+// bar charts reduce to one too).
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends one row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Knees returns the x positions where y jumps by at least ratio between
+// consecutive points of a monotone-x curve: the buffer-overflow inflection
+// points of a LENS latency sweep. The returned x is the *last* point before
+// the jump — the estimated structure capacity.
+func Knees(s *Series, ratio float64) []float64 {
+	var out []float64
+	for i := 1; i < s.Len(); i++ {
+		if s.Y[i-1] > 0 && s.Y[i]/s.Y[i-1] >= ratio {
+			out = append(out, s.X[i-1])
+		}
+	}
+	return out
+}
+
+// LargestKnees returns up to n knee positions ranked by jump magnitude,
+// re-sorted in ascending x.
+func LargestKnees(s *Series, n int) []float64 {
+	type knee struct {
+		x, jump float64
+	}
+	var ks []knee
+	for i := 1; i < s.Len(); i++ {
+		if s.Y[i-1] > 0 {
+			ks = append(ks, knee{x: s.X[i-1], jump: s.Y[i] / s.Y[i-1]})
+		}
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].jump > ks[j].jump })
+	if len(ks) > n {
+		ks = ks[:n]
+	}
+	xs := make([]float64, len(ks))
+	for i, k := range ks {
+		xs[i] = k.x
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+// AmplificationScore is LENS's counter-free amplification estimate: the
+// ratio of the buffer-overflow latency to the non-overflow latency at the
+// same PC-Block size. It is 1 exactly when the actual amplification is 1.
+func AmplificationScore(overflowNs, fitNs float64) float64 {
+	if fitNs <= 0 {
+		return 0
+	}
+	return overflowNs / fitNs
+}
+
+// GranularityFromScores returns the first block size whose score drops to
+// within tol of 1 — the access granularity of the probed structure.
+func GranularityFromScores(blockSizes []uint64, scores []float64, tol float64) uint64 {
+	for i, sc := range scores {
+		if sc <= 1+tol {
+			return blockSizes[i]
+		}
+	}
+	if len(blockSizes) == 0 {
+		return 0
+	}
+	return blockSizes[len(blockSizes)-1]
+}
+
+// ScoreKnees finds the block sizes where an amplification-score curve stops
+// falling: positions i whose drop from the previous point is at least
+// minDrop while the next drop is below it. Each knee marks one structure's
+// access granularity (a single sweep exposes every level it spans).
+func ScoreKnees(blockSizes []uint64, scores []float64, minDrop float64) []uint64 {
+	var out []uint64
+	n := len(scores)
+	if len(blockSizes) < n {
+		n = len(blockSizes)
+	}
+	for i := 1; i < n; i++ {
+		drop := scores[i-1] - scores[i]
+		nextDrop := 0.0
+		if i+1 < n {
+			nextDrop = scores[i] - scores[i+1]
+		}
+		if drop >= minDrop && nextDrop < minDrop {
+			out = append(out, blockSizes[i])
+		}
+	}
+	return out
+}
+
+// TailStats summarizes tail-latency behavior of an iteration-latency trace.
+type TailStats struct {
+	N          int
+	Tails      int
+	TailRatio  float64 // tails per iteration
+	MeanNormal float64
+	MeanTail   float64
+	// Intervals are the iteration gaps between consecutive tails.
+	Intervals []int
+}
+
+// Tails classifies iterations with latency > factor x median as tails and
+// returns interval statistics (the policy prober's migration analysis).
+func Tails(latsNs []float64, factor float64) TailStats {
+	st := TailStats{N: len(latsNs)}
+	if len(latsNs) == 0 {
+		return st
+	}
+	sorted := append([]float64(nil), latsNs...)
+	sort.Float64s(sorted)
+	median := sorted[len(sorted)/2]
+	threshold := median * factor
+	last := -1
+	var sumN, sumT float64
+	var nN, nT int
+	for i, l := range latsNs {
+		if l > threshold {
+			st.Tails++
+			sumT += l
+			nT++
+			if last >= 0 {
+				st.Intervals = append(st.Intervals, i-last)
+			}
+			last = i
+		} else {
+			sumN += l
+			nN++
+		}
+	}
+	if nN > 0 {
+		st.MeanNormal = sumN / float64(nN)
+	}
+	if nT > 0 {
+		st.MeanTail = sumT / float64(nT)
+	}
+	st.TailRatio = float64(st.Tails) / float64(st.N)
+	return st
+}
+
+// MeanInterval returns the average tail interval (0 when < 2 tails).
+func (t TailStats) MeanInterval() float64 {
+	if len(t.Intervals) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, v := range t.Intervals {
+		sum += v
+	}
+	return float64(sum) / float64(len(t.Intervals))
+}
+
+// Accuracy returns the paper's point accuracy: 1 - |sim-real|/real, clamped
+// to [0, 1].
+func Accuracy(sim, real float64) float64 {
+	if real == 0 {
+		if sim == 0 {
+			return 1
+		}
+		return 0
+	}
+	acc := 1 - math.Abs(sim-real)/math.Abs(real)
+	if acc < 0 {
+		return 0
+	}
+	return acc
+}
+
+// MeanAccuracy averages pointwise accuracy over paired curves (arithmetic
+// mean, as Figure 3a/9e).
+func MeanAccuracy(sim, real []float64) float64 {
+	n := len(sim)
+	if len(real) < n {
+		n = len(real)
+	}
+	if n == 0 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += Accuracy(sim[i], real[i])
+	}
+	return sum / float64(n)
+}
+
+// GeomeanAccuracy is the geometric-mean variant used by Figure 11d.
+func GeomeanAccuracy(sim, real []float64) float64 {
+	n := len(sim)
+	if len(real) < n {
+		n = len(real)
+	}
+	if n == 0 {
+		return 0
+	}
+	prod := 0.0
+	cnt := 0
+	for i := 0; i < n; i++ {
+		a := Accuracy(sim[i], real[i])
+		if a > 0 {
+			prod += math.Log(a)
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return math.Exp(prod / float64(cnt))
+}
+
+// LogSpace returns powers-of-two byte sizes from lo to hi inclusive,
+// multiplying by step each time (step >= 2).
+func LogSpace(lo, hi uint64, step uint64) []uint64 {
+	if step < 2 {
+		step = 2
+	}
+	var out []uint64
+	for s := lo; s <= hi; s *= step {
+		out = append(out, s)
+	}
+	return out
+}

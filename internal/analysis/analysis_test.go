@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSeriesAddAndYAt(t *testing.T) {
+	s := &Series{Name: "x"}
+	s.Add(1, 10)
+	s.Add(2, 20)
+	s.Add(4, 40)
+	if s.Len() != 3 {
+		t.Fatal("Len")
+	}
+	if s.YAt(2) != 20 || s.YAt(3) != 40 || s.YAt(100) != 40 {
+		t.Fatal("YAt wrong")
+	}
+	if !strings.Contains(s.String(), "x") {
+		t.Fatal("String missing name")
+	}
+}
+
+func TestKnees(t *testing.T) {
+	s := &Series{}
+	// Flat, then a 2x jump after x=8, then flat, then 1.5x after x=32.
+	pts := [][2]float64{{1, 100}, {2, 100}, {4, 105}, {8, 100}, {16, 200},
+		{32, 210}, {64, 315}}
+	for _, p := range pts {
+		s.Add(p[0], p[1])
+	}
+	ks := Knees(s, 1.4)
+	if len(ks) != 2 || ks[0] != 8 || ks[1] != 32 {
+		t.Fatalf("Knees = %v, want [8 32]", ks)
+	}
+	top := LargestKnees(s, 1)
+	if len(top) != 1 || top[0] != 8 {
+		t.Fatalf("LargestKnees = %v, want [8]", top)
+	}
+	both := LargestKnees(s, 2)
+	if len(both) != 2 || both[0] != 8 || both[1] != 32 {
+		t.Fatalf("LargestKnees(2) = %v", both)
+	}
+}
+
+func TestAmplificationScore(t *testing.T) {
+	if AmplificationScore(400, 200) != 2 {
+		t.Fatal("score wrong")
+	}
+	if AmplificationScore(100, 0) != 0 {
+		t.Fatal("zero fit should be 0")
+	}
+}
+
+func TestGranularityFromScores(t *testing.T) {
+	bs := []uint64{64, 128, 256, 512}
+	scores := []float64{2.0, 1.5, 1.05, 1.01}
+	if g := GranularityFromScores(bs, scores, 0.1); g != 256 {
+		t.Fatalf("granularity = %d, want 256", g)
+	}
+	// Never drops: report the largest probed.
+	if g := GranularityFromScores(bs, []float64{3, 3, 3, 3}, 0.1); g != 512 {
+		t.Fatalf("granularity = %d, want 512", g)
+	}
+	if g := GranularityFromScores(nil, nil, 0.1); g != 0 {
+		t.Fatalf("empty granularity = %d", g)
+	}
+}
+
+func TestTails(t *testing.T) {
+	lats := make([]float64, 100)
+	for i := range lats {
+		lats[i] = 100
+	}
+	lats[20] = 5000
+	lats[60] = 6000
+	st := Tails(lats, 8)
+	if st.Tails != 2 {
+		t.Fatalf("Tails = %d", st.Tails)
+	}
+	if len(st.Intervals) != 1 || st.Intervals[0] != 40 {
+		t.Fatalf("Intervals = %v", st.Intervals)
+	}
+	if st.MeanInterval() != 40 {
+		t.Fatal("MeanInterval")
+	}
+	if st.MeanNormal != 100 || st.MeanTail != 5500 {
+		t.Fatalf("means = %v %v", st.MeanNormal, st.MeanTail)
+	}
+	if st.TailRatio != 0.02 {
+		t.Fatalf("TailRatio = %v", st.TailRatio)
+	}
+}
+
+func TestTailsEmpty(t *testing.T) {
+	st := Tails(nil, 8)
+	if st.N != 0 || st.Tails != 0 || st.MeanInterval() != 0 {
+		t.Fatal("empty tails wrong")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	if Accuracy(90, 100) != 0.9 {
+		t.Fatal("0.9")
+	}
+	if Accuracy(110, 100) != 0.9 {
+		t.Fatal("symmetric")
+	}
+	if Accuracy(300, 100) != 0 {
+		t.Fatal("clamped")
+	}
+	if Accuracy(0, 0) != 1 {
+		t.Fatal("both zero")
+	}
+	if Accuracy(1, 0) != 0 {
+		t.Fatal("real zero")
+	}
+}
+
+func TestMeanAndGeomeanAccuracy(t *testing.T) {
+	sim := []float64{90, 80}
+	real := []float64{100, 100}
+	if got := MeanAccuracy(sim, real); math.Abs(got-0.85) > 1e-12 {
+		t.Fatalf("MeanAccuracy = %v", got)
+	}
+	want := math.Sqrt(0.9 * 0.8)
+	if got := GeomeanAccuracy(sim, real); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("GeomeanAccuracy = %v, want %v", got, want)
+	}
+	if MeanAccuracy(nil, nil) != 0 || GeomeanAccuracy(nil, nil) != 0 {
+		t.Fatal("empty accuracy not 0")
+	}
+}
+
+func TestLogSpace(t *testing.T) {
+	got := LogSpace(64, 512, 2)
+	want := []uint64{64, 128, 256, 512}
+	if len(got) != len(want) {
+		t.Fatalf("LogSpace = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LogSpace = %v", got)
+		}
+	}
+	if got := LogSpace(64, 1024, 4); len(got) != 3 {
+		t.Fatalf("LogSpace step 4 = %v", got)
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tab := &Table{Title: "demo", Columns: []string{"a", "bee"}}
+	tab.AddRow("1", "2")
+	tab.AddRow("333", "4")
+	out := tab.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "333") {
+		t.Fatalf("table render: %s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d", len(lines))
+	}
+}

@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// PlotOptions controls ASCII rendering.
+type PlotOptions struct {
+	// Width and Height are the plot area dimensions in characters.
+	Width  int
+	Height int
+	// LogX plots the x axis on a log2 scale (region-size sweeps).
+	LogX bool
+	// LogY plots the y axis on a log10 scale (tail-latency traces).
+	LogY bool
+}
+
+// DefaultPlotOptions fits a terminal.
+func DefaultPlotOptions() PlotOptions {
+	return PlotOptions{Width: 64, Height: 16}
+}
+
+// markers distinguish up to six overlaid series.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Plot renders one or more series as an ASCII chart with a legend, shared
+// axes, and min/max labels. Series are overlaid in marker order.
+func Plot(series []*Series, opt PlotOptions) string {
+	if opt.Width < 8 {
+		opt.Width = 8
+	}
+	if opt.Height < 4 {
+		opt.Height = 4
+	}
+	var xMin, xMax, yMin, yMax float64
+	first := true
+	for _, s := range series {
+		for i := range s.X {
+			x, y := opt.tx(s.X[i]), opt.ty(s.Y[i])
+			if first {
+				xMin, xMax, yMin, yMax = x, x, y, y
+				first = false
+				continue
+			}
+			xMin, xMax = math.Min(xMin, x), math.Max(xMax, x)
+			yMin, yMax = math.Min(yMin, y), math.Max(yMax, y)
+		}
+	}
+	if first {
+		return "(no data)\n"
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+
+	grid := make([][]byte, opt.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opt.Width))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			cx := int((opt.tx(s.X[i]) - xMin) / (xMax - xMin) * float64(opt.Width-1))
+			cy := int((opt.ty(s.Y[i]) - yMin) / (yMax - yMin) * float64(opt.Height-1))
+			row := opt.Height - 1 - cy
+			grid[row][cx] = m
+		}
+	}
+
+	var b strings.Builder
+	// Legend.
+	for si, s := range series {
+		if si > 0 {
+			b.WriteString("   ")
+		}
+		fmt.Fprintf(&b, "%c %s", markers[si%len(markers)], s.Name)
+	}
+	b.WriteByte('\n')
+	// Y-axis labels on the first and last rows.
+	topLabel := fmt.Sprintf("%.4g", opt.invY(yMax))
+	botLabel := fmt.Sprintf("%.4g", opt.invY(yMin))
+	labelW := len(topLabel)
+	if len(botLabel) > labelW {
+		labelW = len(botLabel)
+	}
+	for r := range grid {
+		switch r {
+		case 0:
+			fmt.Fprintf(&b, "%*s |%s\n", labelW, topLabel, grid[r])
+		case opt.Height - 1:
+			fmt.Fprintf(&b, "%*s |%s\n", labelW, botLabel, grid[r])
+		default:
+			fmt.Fprintf(&b, "%*s |%s\n", labelW, "", grid[r])
+		}
+	}
+	fmt.Fprintf(&b, "%*s +%s\n", labelW, "", strings.Repeat("-", opt.Width))
+	fmt.Fprintf(&b, "%*s  %-*.4g%*.4g\n", labelW, "",
+		opt.Width/2, opt.invX(xMin), opt.Width-opt.Width/2, opt.invX(xMax))
+	if len(series) > 0 && (series[0].XLabel != "" || series[0].YLabel != "") {
+		fmt.Fprintf(&b, "%*s  x: %s, y: %s\n", labelW, "", series[0].XLabel, series[0].YLabel)
+	}
+	return b.String()
+}
+
+func (o PlotOptions) tx(x float64) float64 {
+	if o.LogX && x > 0 {
+		return math.Log2(x)
+	}
+	return x
+}
+
+func (o PlotOptions) ty(y float64) float64 {
+	if o.LogY && y > 0 {
+		return math.Log10(y)
+	}
+	return y
+}
+
+func (o PlotOptions) invX(x float64) float64 {
+	if o.LogX {
+		return math.Exp2(x)
+	}
+	return x
+}
+
+func (o PlotOptions) invY(y float64) float64 {
+	if o.LogY {
+		return math.Pow(10, y)
+	}
+	return y
+}

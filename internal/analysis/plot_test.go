@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleSeries() *Series {
+	s := &Series{Name: "demo", XLabel: "bytes", YLabel: "ns"}
+	for i := 0; i < 10; i++ {
+		s.Add(float64(uint64(64)<<i), float64(100+i*30))
+	}
+	return s
+}
+
+func TestPlotRendersGrid(t *testing.T) {
+	out := Plot([]*Series{sampleSeries()}, DefaultPlotOptions())
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// legend + height rows + axis + x labels + axis names.
+	want := 1 + 16 + 1 + 1 + 1
+	if len(lines) != want {
+		t.Fatalf("got %d lines, want %d:\n%s", len(lines), want, out)
+	}
+	if !strings.Contains(lines[0], "demo") {
+		t.Fatal("legend missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("no markers plotted")
+	}
+	if !strings.Contains(out, "x: bytes, y: ns") {
+		t.Fatal("axis labels missing")
+	}
+}
+
+func TestPlotMultipleSeriesMarkers(t *testing.T) {
+	a := sampleSeries()
+	b := &Series{Name: "other"}
+	for i := 0; i < 10; i++ {
+		b.Add(float64(uint64(64)<<i), float64(400-i*20))
+	}
+	out := Plot([]*Series{a, b}, PlotOptions{Width: 40, Height: 10, LogX: true})
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+}
+
+func TestPlotLogScales(t *testing.T) {
+	s := &Series{Name: "tails"}
+	for i := 0; i < 50; i++ {
+		y := 100.0
+		if i%10 == 0 {
+			y = 50000
+		}
+		s.Add(float64(i), y)
+	}
+	out := Plot([]*Series{s}, PlotOptions{Width: 50, Height: 8, LogY: true})
+	if !strings.Contains(out, "5e+04") && !strings.Contains(out, "50000") {
+		t.Fatalf("log-y max label missing:\n%s", out)
+	}
+}
+
+func TestPlotEmptyAndDegenerate(t *testing.T) {
+	if out := Plot(nil, DefaultPlotOptions()); !strings.Contains(out, "no data") {
+		t.Fatal("empty plot should say no data")
+	}
+	// Single point: axes degenerate but must not panic or divide by zero.
+	s := &Series{Name: "pt"}
+	s.Add(5, 7)
+	out := Plot([]*Series{s}, PlotOptions{Width: 10, Height: 4})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestPlotClampsTinyDimensions(t *testing.T) {
+	s := sampleSeries()
+	out := Plot([]*Series{s}, PlotOptions{Width: 1, Height: 1})
+	if out == "" {
+		t.Fatal("tiny plot empty")
+	}
+}

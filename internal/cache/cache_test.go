@@ -1,0 +1,219 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestConfigSets(t *testing.T) {
+	c := Config{SizeBytes: 32 << 10, Ways: 8, LineBytes: 64}
+	if c.Sets() != 64 {
+		t.Fatalf("Sets = %d, want 64", c.Sets())
+	}
+	tiny := Config{SizeBytes: 64, Ways: 8, LineBytes: 64}
+	if tiny.Sets() != 1 {
+		t.Fatalf("tiny Sets = %d, want 1", tiny.Sets())
+	}
+}
+
+func TestAccessMissThenHit(t *testing.T) {
+	c := New(Config{SizeBytes: 1024, Ways: 2, LineBytes: 64})
+	if c.Access(0, false) {
+		t.Fatal("cold access hit")
+	}
+	c.Fill(0, false)
+	if !c.Access(0, false) {
+		t.Fatal("filled line missed")
+	}
+	if !c.Access(63, false) {
+		t.Fatal("same line different offset missed")
+	}
+	if c.Access(64, false) {
+		t.Fatal("next line hit spuriously")
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	// 2-way, map three lines to the same set.
+	c := New(Config{SizeBytes: 256, Ways: 2, LineBytes: 64}) // 2 sets
+	setStride := uint64(128)                                 // lines 0, 128, 256 share set 0
+	c.Fill(0, false)
+	c.Fill(setStride, false)
+	c.Access(0, false) // 0 most recent
+	v, ev := c.Fill(2*setStride, false)
+	if !ev || v.Addr != setStride {
+		t.Fatalf("victim = %+v (%v), want addr %d", v, ev, setStride)
+	}
+	if !c.Peek(0) || !c.Peek(2*setStride) || c.Peek(setStride) {
+		t.Fatal("residency wrong after eviction")
+	}
+}
+
+func TestDirtyWriteBack(t *testing.T) {
+	c := New(Config{SizeBytes: 128, Ways: 1, LineBytes: 64}) // 2 sets direct-mapped
+	c.Fill(0, false)
+	c.Access(0, true) // dirty it
+	v, ev := c.Fill(128, false)
+	if !ev || !v.Dirty || v.Addr != 0 {
+		t.Fatalf("dirty eviction = %+v (%v)", v, ev)
+	}
+	if c.Stats().WriteBacks != 1 {
+		t.Fatalf("WriteBacks = %d", c.Stats().WriteBacks)
+	}
+}
+
+func TestFillDirtyFlag(t *testing.T) {
+	c := New(Config{SizeBytes: 128, Ways: 1, LineBytes: 64})
+	c.Fill(0, true) // write-allocate store miss
+	v, ev := c.Fill(128, false)
+	if !ev || !v.Dirty {
+		t.Fatalf("write-allocated line not dirty on eviction: %+v %v", v, ev)
+	}
+}
+
+func TestDuplicateFillRefreshes(t *testing.T) {
+	c := New(Config{SizeBytes: 128, Ways: 2, LineBytes: 64}) // 1 set, 2 ways
+	c.Fill(0, false)
+	c.Fill(64, false)
+	c.Fill(0, true) // duplicate: refresh + dirty
+	v, ev := c.Fill(128, false)
+	if !ev || v.Addr != 64 {
+		t.Fatalf("victim = %+v, want 64 (0 was refreshed)", v)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(Config{SizeBytes: 1024, Ways: 2, LineBytes: 64})
+	c.Fill(0, false)
+	c.Access(0, true)
+	dirty, present := c.Invalidate(0)
+	if !present || !dirty {
+		t.Fatalf("Invalidate = %v,%v", dirty, present)
+	}
+	if c.Peek(0) {
+		t.Fatal("line resident after invalidate")
+	}
+	if _, present := c.Invalidate(0); present {
+		t.Fatal("double invalidate reported present")
+	}
+}
+
+func TestVictimAddressRoundTrip(t *testing.T) {
+	// The evicted address must map back to the same set/tag.
+	cfg := Config{SizeBytes: 4096, Ways: 2, LineBytes: 64}
+	f := func(addrRaw uint32) bool {
+		c := New(cfg)
+		addr := uint64(addrRaw) &^ 63
+		c.Fill(addr, false)
+		// Fill the same set with two more conflicting lines.
+		stride := cfg.Sets() * cfg.LineBytes
+		c.Fill(addr+stride, false)
+		v, ev := c.Fill(addr+2*stride, false)
+		if !ev {
+			return false
+		}
+		return v.Addr == addr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: occupancy never exceeds capacity, and a filled line hits until
+// evicted.
+func TestCacheInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		c := New(Config{SizeBytes: 2048, Ways: 4, LineBytes: 64})
+		resident := map[uint64]bool{}
+		for i := 0; i < 500; i++ {
+			addr := rng.Uint64n(1<<14) &^ 63
+			if c.Access(addr, rng.Intn(2) == 0) != resident[addr] {
+				return false
+			}
+			if !resident[addr] {
+				v, ev := c.Fill(addr, false)
+				resident[addr] = true
+				if ev {
+					if !resident[v.Addr] {
+						return false // evicted something not resident
+					}
+					delete(resident, v.Addr)
+				}
+			}
+			if len(resident) > 32 { // 2048/64 lines capacity
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTLB(t *testing.T) {
+	tlb := NewTLB(4, 2, 4096)
+	if tlb.Lookup(0) {
+		t.Fatal("cold TLB hit")
+	}
+	tlb.Insert(0)
+	if !tlb.Lookup(100) { // same page
+		t.Fatal("same-page lookup missed")
+	}
+	if tlb.Lookup(4096) {
+		t.Fatal("next page hit")
+	}
+	if !tlb.Resident(0) || tlb.Resident(8192) {
+		t.Fatal("Resident wrong")
+	}
+	if tlb.PageSize() != 4096 {
+		t.Fatal("PageSize")
+	}
+	st := tlb.Stats()
+	if st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("TLB stats = %+v", st)
+	}
+}
+
+func TestTLBCapacity(t *testing.T) {
+	tlb := NewTLB(4, 4, 4096)
+	for p := uint64(0); p < 5; p++ {
+		tlb.Insert(p * 4096)
+	}
+	hits := 0
+	for p := uint64(0); p < 5; p++ {
+		if tlb.Resident(p * 4096) {
+			hits++
+		}
+	}
+	if hits != 4 {
+		t.Fatalf("TLB holds %d entries, want 4", hits)
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	var s Stats
+	if s.MissRate() != 0 {
+		t.Fatal("empty miss rate")
+	}
+	s = Stats{Hits: 3, Misses: 1}
+	if s.MissRate() != 0.25 {
+		t.Fatalf("MissRate = %v", s.MissRate())
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	c := New(Config{SizeBytes: 1024, Ways: 2, LineBytes: 64})
+	c.Access(0, false)
+	c.ResetStats()
+	if c.Stats().Misses != 0 {
+		t.Fatal("ResetStats did not clear")
+	}
+}

@@ -1,0 +1,153 @@
+// Package core is the library façade: the entry points a downstream user
+// needs to build the paper's systems without navigating the subsystem
+// packages. It wires configuration presets (Tables III and V), system
+// construction (VANS in its operating modes, the baselines, the empirical
+// Optane reference), LENS characterization, and the experiment registry.
+package core
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/baseline"
+	"repro/internal/exp"
+	"repro/internal/lens"
+	"repro/internal/mem"
+	"repro/internal/optane"
+	"repro/internal/vans"
+)
+
+// Version identifies the reproduction release.
+const Version = "1.0.0"
+
+// Paper identifies the reproduced publication.
+const Paper = "Characterizing and Modeling Non-Volatile Memory Systems (MICRO 2020)"
+
+// SystemKind selects a memory system to build.
+type SystemKind string
+
+const (
+	// VANS is the validated cycle-accurate NVRAM simulator (App Direct).
+	VANS SystemKind = "vans"
+	// VANSMemoryMode is VANS with the DRAM near cache (Memory mode).
+	VANSMemoryMode SystemKind = "vans-memory"
+	// OptaneReference is the empirical model of the measured real machine.
+	OptaneReference SystemKind = "optane"
+	// PMEP is the delay-injection emulator baseline.
+	PMEP SystemKind = "pmep"
+	// RamulatorPCM is the slower-DRAM PCM-model baseline.
+	RamulatorPCM SystemKind = "ramulator-pcm"
+	// RamulatorDDR4 is the conventional DDR4 simulator baseline.
+	RamulatorDDR4 SystemKind = "ramulator-ddr4"
+	// DRAMSim2DDR3 is the DDR3-timed simulator baseline.
+	DRAMSim2DDR3 SystemKind = "dramsim2-ddr3"
+)
+
+// SystemKinds lists every buildable system.
+func SystemKinds() []SystemKind {
+	return []SystemKind{VANS, VANSMemoryMode, OptaneReference, PMEP,
+		RamulatorPCM, RamulatorDDR4, DRAMSim2DDR3}
+}
+
+// Options tunes BuildSystem beyond the defaults.
+type Options struct {
+	// DIMMs is the NVDIMM count (default 1).
+	DIMMs int
+	// Interleaved enables 4KB multi-DIMM interleaving.
+	Interleaved bool
+	// MediaBytes overrides the NVRAM media capacity.
+	MediaBytes uint64
+	// Functional enables end-to-end data-content tracking.
+	Functional bool
+	// Seed drives stochastic behavior (default 1).
+	Seed uint64
+}
+
+// BuildVANS constructs a VANS instance with the Table V configuration.
+func BuildVANS(o Options) *vans.System {
+	cfg := vans.DefaultConfig()
+	applyOptions(&cfg, o)
+	return vans.New(cfg)
+}
+
+// BuildSystem constructs any of the supported systems.
+func BuildSystem(kind SystemKind, o Options) mem.System {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	switch kind {
+	case VANS:
+		return BuildVANS(o)
+	case VANSMemoryMode:
+		cfg := vans.DefaultConfig()
+		applyOptions(&cfg, o)
+		cfg.Mode = vans.MemoryMode
+		return vans.New(cfg)
+	case OptaneReference:
+		d := o.DIMMs
+		if d == 0 {
+			d = 1
+		}
+		return optane.New(optane.Config{
+			Params: optane.DefaultParams(), DIMMs: d,
+			Interleaved: o.Interleaved, Seed: o.Seed})
+	case PMEP:
+		return baseline.NewPMEP(baseline.DefaultPMEP(), o.Seed)
+	case RamulatorPCM:
+		return baseline.NewSlowDRAM(baseline.RamulatorPCM)
+	case RamulatorDDR4:
+		return baseline.NewSlowDRAM(baseline.RamulatorDDR4)
+	case DRAMSim2DDR3:
+		return baseline.NewSlowDRAM(baseline.DRAMSim2DDR3)
+	default:
+		return nil
+	}
+}
+
+func applyOptions(cfg *vans.Config, o Options) {
+	if o.DIMMs > 0 {
+		cfg.DIMMs = o.DIMMs
+	}
+	cfg.Interleaved = o.Interleaved
+	if o.MediaBytes > 0 {
+		cfg.NV.Media.Capacity = o.MediaBytes
+	}
+	cfg.Functional = o.Functional
+	if o.Seed > 0 {
+		cfg.Seed = o.Seed
+	}
+}
+
+// Characterize runs the full LENS prober suite against any system
+// constructor and returns the recovered parameter report.
+func Characterize(mk func() mem.System, quick bool) lens.Characterization {
+	sc := exp.PaperScale()
+	if quick {
+		sc = exp.QuickScale()
+	}
+	bp := lens.BufferProberConfig{
+		Regions:      sc.Regions,
+		BlockSizes:   sc.BlockSizes,
+		KneeRatio:    1.25,
+		MaxReadKnees: 2,
+		Options:      sc.Opt,
+	}
+	pc := lens.PolicyProberConfig{
+		OverwriteIters: sc.OverwriteIters,
+		TailFactor:     8,
+		Regions:        analysis.LogSpace(256, 8<<10, 2),
+		SeqSizes:       analysis.LogSpace(1<<10, 32<<10, 2),
+		Options:        sc.Opt,
+	}
+	return lens.Characterize(lens.MakeSystem(mk), bp, pc)
+}
+
+// Experiments lists the regenerable paper artifacts.
+func Experiments() []string { return exp.IDs() }
+
+// RunExperiment regenerates one table or figure by id.
+func RunExperiment(id string, quick bool) (*exp.Result, error) {
+	sc := exp.PaperScale()
+	if quick {
+		sc = exp.QuickScale()
+	}
+	return exp.Run(id, sc)
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestBuildEverySystemKind(t *testing.T) {
+	for _, kind := range SystemKinds() {
+		sys := BuildSystem(kind, Options{MediaBytes: 32 << 20})
+		if sys == nil {
+			t.Fatalf("BuildSystem(%q) = nil", kind)
+		}
+		d := mem.NewDriver(sys)
+		lats := d.RunChain([]mem.Access{
+			{Op: mem.OpRead, Addr: 1 << 20, Size: 64},
+			{Op: mem.OpWriteNT, Addr: 1 << 20, Size: 64},
+		})
+		if lats[0] == 0 {
+			t.Errorf("%s: zero read latency", kind)
+		}
+		d.Fence()
+	}
+	if BuildSystem("bogus", Options{}) != nil {
+		t.Fatal("bogus kind built")
+	}
+}
+
+func TestBuildVANSOptions(t *testing.T) {
+	s := BuildVANS(Options{DIMMs: 6, Interleaved: true, MediaBytes: 32 << 20, Seed: 9})
+	if len(s.DIMMs()) != 6 {
+		t.Fatalf("DIMMs = %d", len(s.DIMMs()))
+	}
+	if !s.Config().Interleaved {
+		t.Fatal("not interleaved")
+	}
+}
+
+func TestExperimentsRegistry(t *testing.T) {
+	ids := Experiments()
+	if len(ids) < 30 {
+		t.Fatalf("only %d experiments", len(ids))
+	}
+	r, err := RunExperiment("tab5", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.String(), "RMW Buffer") {
+		t.Fatal("tab5 missing RMW Buffer row")
+	}
+	if _, err := RunExperiment("nope", true); err == nil {
+		t.Fatal("unknown experiment did not error")
+	}
+}
+
+func TestCharacterizeFacade(t *testing.T) {
+	// Characterize a scaled VANS via the façade.
+	mk := func() mem.System {
+		return BuildVANS(Options{MediaBytes: 64 << 20})
+	}
+	// Quick mode still probes full-size structures on the default config,
+	// which is slow; use the façade only for the signature here by probing
+	// the Optane reference (cheap behavioral model).
+	_ = mk
+	c := Characterize(func() mem.System {
+		return BuildSystem(OptaneReference, Options{})
+	}, true)
+	if len(c.Buffers.ReadBufferBytes) == 0 {
+		t.Fatal("no buffers recovered")
+	}
+	if !strings.Contains(c.Report(), "Read buffers") {
+		t.Fatal("report malformed")
+	}
+}
+
+func TestVersionAndPaper(t *testing.T) {
+	if Version == "" || !strings.Contains(Paper, "MICRO 2020") {
+		t.Fatal("identity constants wrong")
+	}
+}

@@ -1,0 +1,281 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/mem"
+	"repro/internal/nvdimm"
+	"repro/internal/sim"
+	"repro/internal/vans"
+)
+
+// dramSystem returns a plain DDR4 system for CPU tests.
+func dramSystem() mem.System {
+	cfg := dram.DefaultConfig()
+	cfg.RefreshEnabled = false
+	return dram.NewController(sim.NewEngine(), cfg)
+}
+
+func vansSystem() mem.System {
+	cfg := vans.DefaultConfig()
+	cfg.NV.Media.Capacity = 64 << 20
+	return vans.New(cfg)
+}
+
+// computeOnly generates n non-memory instructions.
+func computeOnly(n int) *SliceWorkload {
+	w := &SliceWorkload{Instrs: make([]Instr, n)}
+	return w
+}
+
+// streamLoads generates loads over a footprint with given stride.
+func streamLoads(n int, stride, footprint uint64, dep bool) *SliceWorkload {
+	w := &SliceWorkload{}
+	for i := 0; i < n; i++ {
+		w.Instrs = append(w.Instrs, Instr{
+			IsMem: true, IsLoad: true,
+			Addr:          (uint64(i) * stride) % footprint,
+			DependsOnLoad: dep,
+			Class:         ClassRead,
+		})
+	}
+	return w
+}
+
+func TestComputeIPCReachesWidth(t *testing.T) {
+	core := New(DefaultConfig(), dramSystem())
+	st := core.Run(computeOnly(10000))
+	ipc := st.IPC(2.2)
+	if ipc < 3.0 || ipc > 4.5 {
+		t.Fatalf("compute-only IPC = %.2f, want ~4", ipc)
+	}
+	if st.Instructions != 10000 {
+		t.Fatalf("Instructions = %d", st.Instructions)
+	}
+}
+
+func TestCacheHitsKeepIPCHigh(t *testing.T) {
+	core := New(DefaultConfig(), dramSystem())
+	// 16KB footprint fits L1: after warmup everything hits.
+	st := core.Run(streamLoads(20000, 64, 16<<10, false))
+	if st.L1.MissRate() > 0.05 {
+		t.Fatalf("L1 miss rate = %.3f, want ~0 for resident footprint", st.L1.MissRate())
+	}
+	if ipc := st.IPC(2.2); ipc < 1.0 {
+		t.Fatalf("L1-resident IPC = %.2f, too low", ipc)
+	}
+}
+
+func TestDependentMissesSlowerThanIndependent(t *testing.T) {
+	// Pointer-chasing (dependent) misses serialize; independent misses
+	// overlap via MSHRs.
+	big := uint64(128 << 20)
+	indep := New(DefaultConfig(), dramSystem()).Run(streamLoads(4000, 8192, big, false))
+	dep := New(DefaultConfig(), dramSystem()).Run(streamLoads(4000, 8192, big, true))
+	if dep.Cycles <= indep.Cycles*2 {
+		t.Fatalf("dependent run (%d cyc) not >> independent (%d cyc)",
+			dep.Cycles, indep.Cycles)
+	}
+}
+
+func TestLLCMissesDriveMemoryTraffic(t *testing.T) {
+	core := New(DefaultConfig(), dramSystem())
+	st := core.Run(streamLoads(5000, 4096, 256<<20, false))
+	if st.MemReads == 0 {
+		t.Fatal("no memory reads for an uncacheable footprint")
+	}
+	if st.LLCMPKI() < 100 {
+		t.Fatalf("LLC MPKI = %.1f, want high for streaming misses", st.LLCMPKI())
+	}
+}
+
+func TestTLBMissesCounted(t *testing.T) {
+	core := New(DefaultConfig(), dramSystem())
+	// Stride of one page over a large footprint: every access a new page.
+	st := core.Run(streamLoads(10000, 4096, 512<<20, false))
+	if st.STLB.Misses == 0 || st.Walks == 0 {
+		t.Fatalf("no STLB misses/walks: %+v", st.STLB)
+	}
+	core2 := New(DefaultConfig(), dramSystem())
+	st2 := core2.Run(streamLoads(10000, 64, 64<<10, false))
+	if st2.Walks > st.Walks/10 {
+		t.Fatalf("small footprint walks (%d) not << large (%d)", st2.Walks, st.Walks)
+	}
+}
+
+func TestStoresGenerateRFOTraffic(t *testing.T) {
+	core := New(DefaultConfig(), dramSystem())
+	w := &SliceWorkload{}
+	for i := 0; i < 3000; i++ {
+		w.Instrs = append(w.Instrs, Instr{
+			IsMem: true, Addr: uint64(i) * 4096 % (256 << 20), Class: ClassWrite})
+	}
+	st := core.Run(w)
+	if st.MemReads == 0 {
+		t.Fatal("cached store misses generated no RFO reads")
+	}
+}
+
+func TestNTStoresBypassCaches(t *testing.T) {
+	core := New(DefaultConfig(), dramSystem())
+	w := &SliceWorkload{}
+	for i := 0; i < 1000; i++ {
+		w.Instrs = append(w.Instrs, Instr{
+			IsMem: true, NT: true, Addr: uint64(i) * 64, Class: ClassWrite})
+	}
+	st := core.Run(w)
+	if st.MemWrites < 1000 {
+		t.Fatalf("NT stores reached memory %d times, want 1000", st.MemWrites)
+	}
+	if st.L1.Misses+st.L1.Hits != 0 {
+		t.Fatal("NT stores touched the cache hierarchy")
+	}
+}
+
+func TestFenceSerializes(t *testing.T) {
+	sys := vansSystem()
+	core := New(DefaultConfig(), sys)
+	w := &SliceWorkload{}
+	for i := 0; i < 50; i++ {
+		w.Instrs = append(w.Instrs,
+			Instr{IsMem: true, NT: true, Addr: uint64(i) * 64, Class: ClassWrite},
+			Instr{Fence: true})
+	}
+	st := core.Run(w)
+	if st.Fences != 50 {
+		t.Fatalf("Fences = %d", st.Fences)
+	}
+	if !sys.Drained() {
+		t.Fatal("system not drained after fenced run")
+	}
+	// Fenced writes are far slower than unfenced.
+	core2 := New(DefaultConfig(), vansSystem())
+	w2 := &SliceWorkload{}
+	for i := 0; i < 50; i++ {
+		w2.Instrs = append(w2.Instrs,
+			Instr{IsMem: true, NT: true, Addr: uint64(i) * 64, Class: ClassWrite},
+			Instr{})
+	}
+	st2 := core2.Run(w2)
+	if st.Cycles <= st2.Cycles*2 {
+		t.Fatalf("fenced run (%d) not >> unfenced (%d)", st.Cycles, st2.Cycles)
+	}
+}
+
+func TestClassAttribution(t *testing.T) {
+	core := New(DefaultConfig(), dramSystem())
+	w := &SliceWorkload{}
+	// Expensive dependent reads vs cheap compute.
+	for i := 0; i < 500; i++ {
+		w.Instrs = append(w.Instrs, Instr{
+			IsMem: true, IsLoad: true, DependsOnLoad: true,
+			Addr:  uint64(i) * 8192 % (128 << 20),
+			Class: ClassRead,
+		})
+		for j := 0; j < 3; j++ {
+			w.Instrs = append(w.Instrs, Instr{Class: ClassOther})
+		}
+	}
+	st := core.Run(w)
+	cpiRead := float64(st.ClassCycles[ClassRead]) / float64(st.ClassInstrs[ClassRead])
+	cpiOther := float64(st.ClassCycles[ClassOther]) / float64(st.ClassInstrs[ClassOther])
+	if cpiRead < 4*cpiOther {
+		t.Fatalf("read CPI (%.1f) not >> other CPI (%.1f)", cpiRead, cpiOther)
+	}
+}
+
+// chaseWorkload builds a pointer-chasing traversal with mkpt marks.
+func chaseWorkload(nodes, hops int, mkpt bool, seed uint64) *SliceWorkload {
+	perm := sim.NewRNG(seed).PermCycle(nodes)
+	w := &SliceWorkload{}
+	at := 0
+	for i := 0; i < hops; i++ {
+		next := perm[at]
+		w.Instrs = append(w.Instrs, Instr{
+			IsMem: true, IsLoad: true, DependsOnLoad: true,
+			Addr:     uint64(at) * 4096, // one node per page: TLB-hostile
+			Mkpt:     mkpt,
+			NextAddr: uint64(next) * 4096,
+			Class:    ClassRead,
+		})
+		at = next
+	}
+	return w
+}
+
+func TestPreTranslationReducesTLBMisses(t *testing.T) {
+	run := func(enable bool) Stats {
+		sys := vans.New(func() vans.Config {
+			c := vans.DefaultConfig()
+			c.NV.Media.Capacity = 64 << 20
+			return c
+		}())
+		cfg := DefaultConfig()
+		// Small STLB so the chase exceeds TLB reach.
+		cfg.STLBEntries = 64
+		cfg.DTLBEntries = 16
+		if enable {
+			cfg.RLBEntries = 128
+		}
+		core := New(cfg, sys)
+		if enable {
+			core.AttachPreTrans(sys.EnablePreTranslation(nvdimm.PreTransConfig{}))
+		}
+		// Two traversals of the same ring: the first trains the tables.
+		w := chaseWorkload(512, 2048, enable, 7)
+		return core.Run(w)
+	}
+	base := run(false)
+	opt := run(true)
+	if opt.STLB.Misses >= base.STLB.Misses {
+		t.Fatalf("pre-translation STLB misses %d not below baseline %d",
+			opt.STLB.Misses, base.STLB.Misses)
+	}
+	if opt.PreTransHits == 0 {
+		t.Fatal("no pre-translation hits recorded")
+	}
+	if opt.Cycles >= base.Cycles {
+		t.Fatalf("pre-translation run (%d cyc) not faster than baseline (%d cyc)",
+			opt.Cycles, base.Cycles)
+	}
+}
+
+func TestRLB(t *testing.T) {
+	r := NewRLB(2)
+	if _, ok := r.Lookup(0); ok {
+		t.Fatal("cold RLB hit")
+	}
+	r.Insert(0, 10)
+	r.Insert(64, 11)
+	if pfn, ok := r.Lookup(0); !ok || pfn != 10 {
+		t.Fatalf("Lookup = %d,%v", pfn, ok)
+	}
+	r.Insert(128, 12) // evict FIFO (0)
+	if _, ok := r.Lookup(0); ok {
+		t.Fatal("FIFO eviction failed")
+	}
+	if _, ok := r.Lookup(64); !ok {
+		t.Fatal("entry 64 lost")
+	}
+	r.Insert(64, 99) // overwrite in place
+	if pfn, _ := r.Lookup(64); pfn != 99 {
+		t.Fatal("in-place update failed")
+	}
+	if r.Lookups() == 0 || r.Hits() == 0 {
+		t.Fatal("counters not populated")
+	}
+}
+
+func TestSliceWorkloadReset(t *testing.T) {
+	w := &SliceWorkload{Instrs: []Instr{{}, {}}}
+	w.Next()
+	w.Next()
+	if _, ok := w.Next(); ok {
+		t.Fatal("exhausted workload returned an instruction")
+	}
+	w.Reset()
+	if _, ok := w.Next(); !ok {
+		t.Fatal("reset failed")
+	}
+}

@@ -1,0 +1,197 @@
+package dram
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Violation is one DDR4 protocol rule broken by a command trace.
+type Violation struct {
+	Cmd  Cmd
+	Rule string
+}
+
+// String renders the violation.
+func (v Violation) String() string { return fmt.Sprintf("%s: %s", v.Cmd, v.Rule) }
+
+// Checker validates a DDR4 command trace against a Timing set. It is the
+// repository's stand-in for the Micron DDR4 Verilog verification model: the
+// controller's recorded command stream is replayed through an independent
+// rule set, so a timing bug in the scheduler cannot silently self-certify.
+type Checker struct {
+	t Timing
+	g Geometry
+}
+
+// NewChecker returns a checker for the given timing and geometry.
+func NewChecker(t Timing, g Geometry) *Checker { return &Checker{t: t, g: g} }
+
+// chkBank mirrors per-bank protocol state during checking.
+type chkBank struct {
+	open      bool
+	openRow   uint64
+	lastACT   sim.Cycle
+	lastPRE   sim.Cycle
+	lastRD    sim.Cycle
+	lastWRend sim.Cycle // end of last write data burst
+	hasACT    bool
+	hasPRE    bool
+	hasRD     bool
+	hasWR     bool
+}
+
+// chkRank mirrors per-rank protocol state.
+type chkRank struct {
+	acts      []sim.Cycle
+	lastREF   sim.Cycle
+	hasREF    bool
+	lastWRend sim.Cycle
+	hasWR     bool
+}
+
+// Check replays cmds (sorted by cycle, ties in input order) and returns all
+// violations found. An empty result means the trace is DDR4-legal under the
+// rule subset below, which covers the constraints the controller must honor:
+//
+//	ACT:  bank must be precharged; >= tRP after its PRE; >= tRRD after the
+//	      rank's previous ACT; at most 4 ACTs per rank per tFAW; >= tRFC
+//	      after REF.
+//	PRE:  >= tRAS after the bank's ACT; >= tRTP after its last RD; >= tWR
+//	      after its last write data.
+//	RD:   bank open, row matches; >= tRCD after ACT; >= tWTR after the
+//	      rank's last write data end.
+//	WR:   bank open, row matches; >= tRCD after ACT.
+//	Bursts: same-bank-group spacing >= tCCD_L, cross-group >= tCCD_S.
+//	REF:  all banks of the rank precharged.
+func (c *Checker) Check(cmds []Cmd) []Violation {
+	ordered := make([]Cmd, len(cmds))
+	copy(ordered, cmds)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].At < ordered[j].At })
+
+	banks := make([]chkBank, c.g.totalBanks())
+	ranks := make([]chkRank, c.g.Ranks)
+	var vs []Violation
+	fail := func(cmd Cmd, format string, args ...interface{}) {
+		vs = append(vs, Violation{Cmd: cmd, Rule: fmt.Sprintf(format, args...)})
+	}
+
+	var lastBurstAt sim.Cycle
+	lastBurstBG := -1
+	haveBurst := false
+
+	for _, cmd := range ordered {
+		if cmd.Rank < 0 || cmd.Rank >= c.g.Ranks {
+			fail(cmd, "rank %d out of range", cmd.Rank)
+			continue
+		}
+		rk := &ranks[cmd.Rank]
+		var b *chkBank
+		if cmd.Kind != CmdREF {
+			if cmd.BankGroup < 0 || cmd.BankGroup >= c.g.BankGroups ||
+				cmd.Bank < 0 || cmd.Bank >= c.g.Banks {
+				fail(cmd, "bank address out of range")
+				continue
+			}
+			b = &banks[c.g.bankIndex(cmd.Coord)]
+		}
+
+		switch cmd.Kind {
+		case CmdACT:
+			if b.open {
+				fail(cmd, "ACT to open bank (row %d still open)", b.openRow)
+			}
+			if b.hasPRE && cmd.At < b.lastPRE+c.t.TRP {
+				fail(cmd, "tRP: ACT at %d < PRE %d + %d", cmd.At, b.lastPRE, c.t.TRP)
+			}
+			if rk.hasREF && cmd.At < rk.lastREF+c.t.TRFC {
+				fail(cmd, "tRFC: ACT at %d < REF %d + %d", cmd.At, rk.lastREF, c.t.TRFC)
+			}
+			if n := len(rk.acts); n > 0 && cmd.At < rk.acts[n-1]+c.t.TRRD {
+				fail(cmd, "tRRD: ACT at %d < prev ACT %d + %d", cmd.At, rk.acts[n-1], c.t.TRRD)
+			}
+			if len(rk.acts) >= 4 {
+				if w := rk.acts[len(rk.acts)-4]; cmd.At < w+c.t.TFAW {
+					fail(cmd, "tFAW: 5th ACT at %d inside window from %d", cmd.At, w)
+				}
+			}
+			rk.acts = append(rk.acts, cmd.At)
+			if len(rk.acts) > 8 {
+				rk.acts = rk.acts[len(rk.acts)-8:]
+			}
+			b.open = true
+			b.openRow = cmd.Row
+			b.lastACT = cmd.At
+			b.hasACT = true
+
+		case CmdPRE:
+			if !b.open {
+				fail(cmd, "PRE to precharged bank")
+			}
+			if b.hasACT && cmd.At < b.lastACT+c.t.TRAS {
+				fail(cmd, "tRAS: PRE at %d < ACT %d + %d", cmd.At, b.lastACT, c.t.TRAS)
+			}
+			if b.hasRD && cmd.At < b.lastRD+c.t.TRTP {
+				fail(cmd, "tRTP: PRE at %d < RD %d + %d", cmd.At, b.lastRD, c.t.TRTP)
+			}
+			if b.hasWR && cmd.At < b.lastWRend+c.t.TWR {
+				fail(cmd, "tWR: PRE at %d < WR data end %d + %d", cmd.At, b.lastWRend, c.t.TWR)
+			}
+			b.open = false
+			b.lastPRE = cmd.At
+			b.hasPRE = true
+
+		case CmdRD, CmdWR:
+			if !b.open {
+				fail(cmd, "%s to precharged bank", cmd.Kind)
+			} else if b.openRow != cmd.Row {
+				fail(cmd, "%s row %d but open row is %d", cmd.Kind, cmd.Row, b.openRow)
+			}
+			if b.hasACT && cmd.At < b.lastACT+c.t.TRCD {
+				fail(cmd, "tRCD: %s at %d < ACT %d + %d", cmd.Kind, cmd.At, b.lastACT, c.t.TRCD)
+			}
+			if haveBurst {
+				gap := c.t.TCCDS
+				if cmd.BankGroup == lastBurstBG {
+					gap = c.t.TCCD
+				}
+				if cmd.At < lastBurstAt+gap {
+					fail(cmd, "tCCD: burst at %d < prev burst %d + %d", cmd.At, lastBurstAt, gap)
+				}
+			}
+			if cmd.Kind == CmdRD {
+				if rk.hasWR && cmd.At < rk.lastWRend+c.t.TWTR {
+					fail(cmd, "tWTR: RD at %d < write data end %d + %d", cmd.At, rk.lastWRend, c.t.TWTR)
+				}
+				b.lastRD = cmd.At
+				b.hasRD = true
+			} else {
+				end := cmd.At + c.t.TWL + c.t.TBurst
+				b.lastWRend = end
+				b.hasWR = true
+				rk.lastWRend = end
+				rk.hasWR = true
+			}
+			haveBurst = true
+			lastBurstAt = cmd.At
+			lastBurstBG = cmd.BankGroup
+
+		case CmdREF:
+			lo := cmd.Rank * c.g.BankGroups * c.g.Banks
+			hi := lo + c.g.BankGroups*c.g.Banks
+			for i := lo; i < hi; i++ {
+				if banks[i].open {
+					fail(cmd, "REF with bank %d open", i-lo)
+					break
+				}
+			}
+			rk.lastREF = cmd.At
+			rk.hasREF = true
+
+		default:
+			fail(cmd, "unknown command kind %d", cmd.Kind)
+		}
+	}
+	return vs
+}

@@ -1,0 +1,116 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// legalTrace generates a legal command trace by running the controller on a
+// random access mix.
+func legalTrace(seed uint64, pol Policy) ([]Cmd, Config) {
+	cfg := DefaultConfig()
+	cfg.TapCommands = true
+	cfg.Policy = pol
+	cfg.RefreshEnabled = seed%2 == 0
+	c := NewController(sim.NewEngine(), cfg)
+	d := mem.NewDriver(c)
+	rng := sim.NewRNG(seed)
+	accs := make([]mem.Access, 300)
+	for i := range accs {
+		op := mem.OpRead
+		if rng.Intn(3) == 0 {
+			op = mem.OpWrite
+		}
+		accs[i] = mem.Access{Op: op, Addr: rng.Uint64n(cfg.Geometry.Capacity()) &^ 63, Size: 64}
+	}
+	d.RunWindow(accs, 12)
+	return c.Commands(), cfg
+}
+
+// Property: the controller always emits legal traces across policies,
+// refresh settings, and random access mixes.
+func TestControllerAlwaysLegal(t *testing.T) {
+	f := func(seed uint64, frfcfs bool) bool {
+		pol := FCFS
+		if frfcfs {
+			pol = FRFCFS
+		}
+		cmds, cfg := legalTrace(seed, pol)
+		if len(cmds) == 0 {
+			return false
+		}
+		vs := NewChecker(cfg.Timing, cfg.Geometry).Check(cmds)
+		if len(vs) > 0 {
+			t.Logf("seed %d policy %v: %s", seed, pol, vs[0])
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: guaranteed-illegal mutations of a legal trace are always
+// detected. Duplicating any ACT shortly after itself re-opens an open bank
+// (and violates tRRD), which no legal trace can contain.
+func TestCheckerDetectsRandomMutations(t *testing.T) {
+	base, cfg := legalTrace(7, FCFS)
+	chk := NewChecker(cfg.Timing, cfg.Geometry)
+	if vs := chk.Check(base); len(vs) != 0 {
+		t.Fatalf("baseline illegal: %s", vs[0])
+	}
+	f := func(pickRaw uint16, gapRaw uint8) bool {
+		mut := append([]Cmd(nil), base...)
+		var actIdx []int
+		for i, c := range mut {
+			if c.Kind == CmdACT {
+				actIdx = append(actIdx, i)
+			}
+		}
+		if len(actIdx) == 0 {
+			return true
+		}
+		i := actIdx[int(pickRaw)%len(actIdx)]
+		dup := mut[i]
+		// Insert the duplicate 1..tRAS-1 cycles later: the bank is still
+		// open, so the second ACT must be flagged.
+		dup.At += 1 + sim.Cycle(uint64(gapRaw))%(cfg.Timing.TRAS-1)
+		mut = append(mut, dup)
+		vs := chk.Check(mut)
+		return len(vs) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The checker must tolerate arbitrary garbage without panicking.
+func TestCheckerGarbageTolerance(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		cmds := make([]Cmd, 50)
+		for i := range cmds {
+			cmds[i] = Cmd{
+				At:   sim.Cycle(rng.Uint64n(10000)),
+				Kind: CmdKind(rng.Intn(7)), // includes invalid kinds
+				Coord: Coord{
+					Rank:      rng.Intn(3) - 1, // includes out-of-range
+					BankGroup: rng.Intn(6) - 1,
+					Bank:      rng.Intn(6) - 1,
+					Row:       rng.Uint64n(1 << 17),
+					Col:       rng.Uint64n(1 << 14),
+				},
+			}
+		}
+		g := DefaultGeometry()
+		NewChecker(DDR42666(), g).Check(cmds) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,63 @@
+package dram
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// CmdKind is a DDR4 command mnemonic.
+type CmdKind uint8
+
+const (
+	// CmdACT activates (opens) a row in a bank.
+	CmdACT CmdKind = iota
+	// CmdPRE precharges (closes) the open row of a bank.
+	CmdPRE
+	// CmdRD reads one burst from the open row.
+	CmdRD
+	// CmdWR writes one burst into the open row.
+	CmdWR
+	// CmdREF refreshes a rank (all banks must be precharged).
+	CmdREF
+)
+
+// String returns the DDR4 mnemonic.
+func (k CmdKind) String() string {
+	switch k {
+	case CmdACT:
+		return "ACT"
+	case CmdPRE:
+		return "PRE"
+	case CmdRD:
+		return "RD"
+	case CmdWR:
+		return "WR"
+	case CmdREF:
+		return "REF"
+	default:
+		return fmt.Sprintf("CMD(%d)", uint8(k))
+	}
+}
+
+// Cmd is one command as it appears on the command bus, with full addressing.
+// A sequence of Cmd values is exactly what the legality Checker consumes.
+type Cmd struct {
+	At   sim.Cycle
+	Kind CmdKind
+	Coord
+}
+
+// String renders the command for traces and error messages.
+func (c Cmd) String() string {
+	switch c.Kind {
+	case CmdREF:
+		return fmt.Sprintf("%d REF r%d", c.At, c.Rank)
+	case CmdACT:
+		return fmt.Sprintf("%d ACT r%d bg%d b%d row=%d", c.At, c.Rank, c.BankGroup, c.Bank, c.Row)
+	case CmdPRE:
+		return fmt.Sprintf("%d PRE r%d bg%d b%d", c.At, c.Rank, c.BankGroup, c.Bank)
+	default:
+		return fmt.Sprintf("%d %s r%d bg%d b%d row=%d col=%d", c.At, c.Kind, c.Rank, c.BankGroup, c.Bank, c.Row, c.Col)
+	}
+}

@@ -1,0 +1,396 @@
+package dram
+
+import (
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// bankState tracks one bank's open row and per-command earliest-issue times.
+type bankState struct {
+	open    bool
+	openRow uint64
+	// Earliest cycles each command class may next issue to this bank.
+	nextACT sim.Cycle
+	nextPRE sim.Cycle
+	nextRW  sim.Cycle
+	// lastCol tracks the bank group for tCCD decisions (kept in rankState).
+}
+
+// rankState tracks rank-wide constraints: tRRD/tFAW activation pacing,
+// write-to-read turnaround and refresh.
+type rankState struct {
+	lastACTs    []sim.Cycle // up to 4 most recent ACT times (tFAW window)
+	nextACT     sim.Cycle   // tRRD pacing
+	nextRD      sim.Cycle   // tWTR turnaround
+	nextRefresh sim.Cycle
+}
+
+// pending is a queued request with its decoded coordinates. bursts is the
+// number of back-to-back column bursts the request occupies (1 for a 64B
+// access; an Optane AIT 256B sector access uses 4).
+type pending struct {
+	req    *mem.Request
+	coord  Coord
+	write  bool
+	bursts int
+}
+
+// Stats counts controller activity.
+type Stats struct {
+	Reads      uint64
+	Writes     uint64
+	RowHits    uint64
+	RowMisses  uint64
+	RowConf    uint64 // row conflicts (had to close another row)
+	Refreshes  uint64
+	DataCycles sim.Cycle // cycles the data bus was occupied
+}
+
+// Controller is one DRAM channel: a request queue, bank/rank state, and a
+// command scheduler. It implements mem.System for standalone use and exposes
+// Schedule for composition inside larger models (iMC, NVDIMM).
+type Controller struct {
+	eng   *sim.Engine
+	cfg   Config
+	queue *sim.Queue[pending]
+
+	banks []bankState
+	ranks []rankState
+
+	// busFree is the earliest cycle the shared data bus is free.
+	busFree sim.Cycle
+	// lastBurstBG/lastBurstAt implement tCCD_L vs tCCD_S spacing.
+	lastBurstBG int
+	lastBurstAt sim.Cycle
+	haveBurst   bool
+
+	// cmds is the recorded command trace when cfg.TapCommands is set.
+	cmds []Cmd
+
+	inflight int
+	busy     bool
+
+	stats Stats
+}
+
+// NewController returns a controller on eng with cfg (zero fields defaulted).
+func NewController(eng *sim.Engine, cfg Config) *Controller {
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 32
+	}
+	if cfg.AccessBytes == 0 {
+		cfg.AccessBytes = 64
+	}
+	if cfg.Geometry.Ranks == 0 {
+		cfg.Geometry = DefaultGeometry()
+	}
+	if cfg.Timing.TCL == 0 {
+		cfg.Timing = DDR42666()
+	}
+	c := &Controller{
+		eng:   eng,
+		cfg:   cfg,
+		queue: sim.NewQueue[pending](cfg.QueueDepth),
+		banks: make([]bankState, cfg.Geometry.totalBanks()),
+		ranks: make([]rankState, cfg.Geometry.Ranks),
+	}
+	for i := range c.ranks {
+		c.ranks[i].nextRefresh = cfg.Timing.TREFI
+	}
+	return c
+}
+
+// Engine implements mem.System.
+func (c *Controller) Engine() *sim.Engine { return c.eng }
+
+// CyclesPerNano implements mem.System.
+func (c *Controller) CyclesPerNano() float64 { return CyclesPerNano }
+
+// Drained implements mem.System.
+func (c *Controller) Drained() bool { return c.inflight == 0 && c.queue.Empty() }
+
+// Stats returns a copy of the activity counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// Commands returns the recorded command trace (TapCommands must be set).
+// The slice is owned by the controller; callers must not mutate it.
+func (c *Controller) Commands() []Cmd { return c.cmds }
+
+// ResetCommands discards the recorded command trace.
+func (c *Controller) ResetCommands() { c.cmds = nil }
+
+// Submit implements mem.System: enqueue a request, false on backpressure.
+// Requests must fit within one burst (split larger requests with
+// mem.LineSpan before submitting).
+func (c *Controller) Submit(r *mem.Request) bool {
+	if r.Op == mem.OpFence {
+		// A bare DRAM channel has no write-pending buffering beyond the
+		// queue; a fence completes when the channel drains.
+		c.completeWhenDrained(r)
+		return true
+	}
+	if c.queue.Full() {
+		return false
+	}
+	r.Issued = c.eng.Now()
+	c.queue.Push(pending{
+		req:    r,
+		coord:  c.cfg.Geometry.MapAddr(r.Addr % c.cfg.Geometry.Capacity()),
+		write:  r.Op.IsWrite() || r.Op == mem.OpClwb,
+		bursts: 1,
+	})
+	c.inflight++
+	c.kick()
+	return true
+}
+
+// Schedule is the composition entry point: time one single-burst access at
+// addr and call done when its data completes. It bypasses mem.Request
+// bookkeeping.
+func (c *Controller) Schedule(addr uint64, write bool, done func()) bool {
+	return c.ScheduleN(addr, write, 1, done)
+}
+
+// ScheduleN times one access of n back-to-back bursts (n*64 contiguous
+// bytes within one row) as a single queue entry.
+func (c *Controller) ScheduleN(addr uint64, write bool, n int, done func()) bool {
+	if c.queue.Full() {
+		return false
+	}
+	if n < 1 {
+		n = 1
+	}
+	r := &mem.Request{Addr: addr, Size: uint32(n * 64), Issued: c.eng.Now(),
+		OnDone: func(*mem.Request) {
+			if done != nil {
+				done()
+			}
+		}}
+	if write {
+		r.Op = mem.OpWrite
+	}
+	c.queue.Push(pending{req: r, coord: c.cfg.Geometry.MapAddr(addr % c.cfg.Geometry.Capacity()),
+		write: write, bursts: n})
+	c.inflight++
+	c.kick()
+	return true
+}
+
+func (c *Controller) completeWhenDrained(r *mem.Request) {
+	r.Issued = c.eng.Now()
+	if c.Drained() {
+		c.eng.After(1, func() { r.Complete(c.eng.Now()) })
+		return
+	}
+	// Poll at the bus-free horizon; cheap and always makes progress because
+	// pending work strictly advances busFree.
+	c.eng.After(c.cfg.Timing.TBurst, func() { c.completeWhenDrained(r) })
+}
+
+// kick schedules the scheduler loop if it is not already running.
+func (c *Controller) kick() {
+	if c.busy {
+		return
+	}
+	c.busy = true
+	c.eng.After(0, c.serviceNext)
+}
+
+// pickNext selects the next queued request index per policy.
+func (c *Controller) pickNext() int {
+	if c.cfg.Policy == FCFS || c.queue.Len() == 1 {
+		return 0
+	}
+	// FR-FCFS: oldest row hit first, else oldest.
+	hit := -1
+	c.queue.Scan(func(i int, p pending) bool {
+		b := c.banks[c.cfg.Geometry.bankIndex(p.coord)]
+		if b.open && b.openRow == p.coord.Row {
+			hit = i
+			return false
+		}
+		return true
+	})
+	if hit >= 0 {
+		return hit
+	}
+	return 0
+}
+
+// serviceNext issues the full command sequence for one request, reserves the
+// involved resources, and schedules its completion. It then re-arms itself
+// at the cycle the command bus frees up, overlapping bank timing of
+// subsequent requests.
+func (c *Controller) serviceNext() {
+	if c.queue.Empty() {
+		c.busy = false
+		return
+	}
+	p := c.queue.RemoveAt(c.pickNext())
+	now := c.eng.Now()
+	t := &c.cfg.Timing
+	g := &c.cfg.Geometry
+	bi := g.bankIndex(p.coord)
+	b := &c.banks[bi]
+	rk := &c.ranks[p.coord.Rank]
+
+	// Refresh: if the refresh deadline passed, precharge all open banks of
+	// the rank, issue REF, and pay tRFC before further activates.
+	if c.cfg.RefreshEnabled {
+		for now >= rk.nextRefresh {
+			refAt := rk.nextRefresh
+			lo := p.coord.Rank * g.BankGroups * g.Banks
+			hi := lo + g.BankGroups*g.Banks
+			for i := lo; i < hi; i++ {
+				bb := &c.banks[i]
+				if !bb.open {
+					continue
+				}
+				preAt := maxCycle(refAt, bb.nextPRE)
+				bg := (i - lo) / g.Banks
+				bk := (i - lo) % g.Banks
+				c.emit(Cmd{At: preAt, Kind: CmdPRE,
+					Coord: Coord{Rank: p.coord.Rank, BankGroup: bg, Bank: bk}})
+				bb.open = false
+				bb.nextACT = maxCycle(bb.nextACT, preAt+t.TRP)
+				if refAt < preAt+t.TRP {
+					refAt = preAt + t.TRP
+				}
+			}
+			c.emit(Cmd{At: refAt, Kind: CmdREF, Coord: Coord{Rank: p.coord.Rank}})
+			c.stats.Refreshes++
+			for i := lo; i < hi; i++ {
+				bb := &c.banks[i]
+				if bb.nextACT < refAt+t.TRFC {
+					bb.nextACT = refAt + t.TRFC
+				}
+			}
+			rk.nextRefresh += t.TREFI
+		}
+	}
+
+	cursor := now
+
+	// Row conflict: precharge the open row first.
+	if b.open && b.openRow != p.coord.Row {
+		preAt := maxCycle(cursor, b.nextPRE)
+		c.emit(Cmd{At: preAt, Kind: CmdPRE, Coord: p.coord})
+		b.open = false
+		b.nextACT = maxCycle(b.nextACT, preAt+t.TRP)
+		cursor = preAt
+		c.stats.RowConf++
+	}
+
+	// Activate if closed.
+	if !b.open {
+		actAt := maxCycle(cursor, b.nextACT)
+		actAt = maxCycle(actAt, rk.nextACT)
+		// tFAW: at most 4 ACTs in any TFAW window per rank.
+		if len(rk.lastACTs) == 4 {
+			if w := rk.lastACTs[0] + t.TFAW; actAt < w {
+				actAt = w
+			}
+		}
+		c.emit(Cmd{At: actAt, Kind: CmdACT, Coord: p.coord})
+		rk.nextACT = actAt + t.TRRD
+		rk.lastACTs = append(rk.lastACTs, actAt)
+		if len(rk.lastACTs) > 4 {
+			rk.lastACTs = rk.lastACTs[1:]
+		}
+		b.open = true
+		b.openRow = p.coord.Row
+		b.nextRW = maxCycle(b.nextRW, actAt+t.TRCD)
+		// tRAS: earliest PRE after this ACT.
+		b.nextPRE = maxCycle(b.nextPRE, actAt+t.TRAS)
+		cursor = actAt
+		c.stats.RowMisses++
+	} else {
+		c.stats.RowHits++
+	}
+
+	// Column command: respect bank readiness, bus occupancy, and burst
+	// spacing (tCCD_L within a bank group, tCCD_S across).
+	rwAt := maxCycle(cursor, b.nextRW)
+	// Data bus: this access's first data beat must not start before the bus
+	// frees from the previous burst.
+	dataLat := t.TCL
+	if p.write {
+		dataLat = t.TWL
+	}
+	if c.busFree > dataLat {
+		rwAt = maxCycle(rwAt, c.busFree-dataLat)
+	}
+	if c.haveBurst {
+		gap := t.TCCDS
+		if p.coord.BankGroup == c.lastBurstBG {
+			gap = t.TCCD
+		}
+		rwAt = maxCycle(rwAt, c.lastBurstAt+gap)
+	}
+	if !p.write {
+		rwAt = maxCycle(rwAt, rk.nextRD)
+	}
+
+	bursts := sim.Cycle(1)
+	if p.bursts > 1 {
+		bursts = sim.Cycle(p.bursts)
+	}
+	var dataStart, dataEnd sim.Cycle
+	if p.write {
+		c.emit(Cmd{At: rwAt, Kind: CmdWR, Coord: p.coord})
+		dataStart = rwAt + t.TWL
+		dataEnd = dataStart + bursts*t.TBurst
+		// Write recovery gates the next PRE; tWTR gates the next read.
+		b.nextPRE = maxCycle(b.nextPRE, dataEnd+t.TWR)
+		rk.nextRD = maxCycle(rk.nextRD, dataEnd+t.TWTR)
+		c.stats.Writes++
+	} else {
+		c.emit(Cmd{At: rwAt, Kind: CmdRD, Coord: p.coord})
+		dataStart = rwAt + t.TCL
+		dataEnd = dataStart + bursts*t.TBurst
+		b.nextPRE = maxCycle(b.nextPRE, rwAt+t.TRTP)
+		c.stats.Reads++
+	}
+	c.haveBurst = true
+	c.lastBurstBG = p.coord.BankGroup
+	// Multi-burst requests hold the column pipeline until their last burst.
+	c.lastBurstAt = rwAt + (bursts-1)*t.TBurst
+	c.busFree = maxCycle(c.busFree, dataEnd)
+	c.stats.DataCycles += bursts * t.TBurst
+
+	// Closed-page policy: precharge as soon as legal after the access.
+	if c.cfg.ClosedPage {
+		preAt := b.nextPRE
+		c.emit(Cmd{At: preAt, Kind: CmdPRE, Coord: p.coord})
+		b.open = false
+		b.nextACT = maxCycle(b.nextACT, preAt+t.TRP)
+	}
+
+	req := p.req
+	c.eng.Schedule(dataEnd, func() {
+		c.inflight--
+		req.Complete(c.eng.Now())
+	})
+
+	// Next request may begin scheduling once this one's column command has
+	// issued — that is where command-bus serialization bites.
+	next := maxCycle(rwAt, now+1)
+	if c.queue.Empty() {
+		c.busy = false
+		return
+	}
+	c.eng.Schedule(next, c.serviceNext)
+}
+
+func (c *Controller) emit(cmd Cmd) {
+	if c.cfg.TapCommands {
+		c.cmds = append(c.cmds, cmd)
+	}
+}
+
+func maxCycle(a, b sim.Cycle) sim.Cycle {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,155 @@
+package dram
+
+import (
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// MultiChannel is a DRAM main-memory system of N independent channels with
+// line-granular channel interleaving — the DDR4 4-channel configuration of
+// Table V. It implements mem.System.
+type MultiChannel struct {
+	eng      *sim.Engine
+	channels []*Controller
+	ilv      uint64
+	wq       int
+	wqMax    int
+	inflight int
+}
+
+// MultiChannelConfig configures the system.
+type MultiChannelConfig struct {
+	// Channels is the channel count (Table V: 4).
+	Channels int
+	// Channel configures each channel identically.
+	Channel Config
+	// InterleaveBytes is the consecutive span per channel (default: one
+	// 64B line, the fine-grained interleaving of server iMCs).
+	InterleaveBytes uint64
+	// WriteQueue bounds posted writes per system.
+	WriteQueue int
+}
+
+// DefaultMultiChannelConfig returns the Table V DRAM main memory.
+func DefaultMultiChannelConfig() MultiChannelConfig {
+	return MultiChannelConfig{
+		Channels:        4,
+		Channel:         DefaultConfig(),
+		InterleaveBytes: 64,
+		WriteQueue:      32,
+	}
+}
+
+// NewMultiChannel builds the system on a fresh engine.
+func NewMultiChannel(cfg MultiChannelConfig) *MultiChannel {
+	if cfg.Channels < 1 {
+		cfg.Channels = 1
+	}
+	if cfg.InterleaveBytes == 0 {
+		cfg.InterleaveBytes = 64
+	}
+	if cfg.WriteQueue == 0 {
+		cfg.WriteQueue = 32
+	}
+	eng := sim.NewEngine()
+	m := &MultiChannel{eng: eng, ilv: cfg.InterleaveBytes, wqMax: cfg.WriteQueue}
+	for i := 0; i < cfg.Channels; i++ {
+		m.channels = append(m.channels, NewController(eng, cfg.Channel))
+	}
+	return m
+}
+
+// Engine implements mem.System.
+func (m *MultiChannel) Engine() *sim.Engine { return m.eng }
+
+// CyclesPerNano implements mem.System.
+func (m *MultiChannel) CyclesPerNano() float64 { return CyclesPerNano }
+
+// Drained implements mem.System.
+func (m *MultiChannel) Drained() bool {
+	if m.inflight > 0 || m.wq > 0 {
+		return false
+	}
+	for _, ch := range m.channels {
+		if !ch.Drained() {
+			return false
+		}
+	}
+	return true
+}
+
+// Channels exposes the per-channel controllers (stats, command traces).
+func (m *MultiChannel) Channels() []*Controller { return m.channels }
+
+// Route maps an address to (channel, local address).
+func (m *MultiChannel) Route(addr uint64) (int, uint64) {
+	n := uint64(len(m.channels))
+	if n == 1 {
+		return 0, addr
+	}
+	span := addr / m.ilv
+	return int(span % n), (span/n)*m.ilv + addr%m.ilv
+}
+
+// Unroute inverts Route (property tests).
+func (m *MultiChannel) Unroute(ch int, local uint64) uint64 {
+	n := uint64(len(m.channels))
+	if n == 1 {
+		return local
+	}
+	span := local / m.ilv
+	return (span*n+uint64(ch))*m.ilv + local%m.ilv
+}
+
+// Submit implements mem.System: reads route to their channel, writes are
+// posted through a bounded write queue, fences drain everything.
+func (m *MultiChannel) Submit(r *mem.Request) bool {
+	now := m.eng.Now()
+	switch r.Op {
+	case mem.OpRead:
+		ci, local := m.Route(r.Addr)
+		inner := &mem.Request{Op: mem.OpRead, Addr: local, Size: 64,
+			OnDone: func(rq *mem.Request) {
+				m.inflight--
+				r.Complete(m.eng.Now())
+			}}
+		if !m.channels[ci].Submit(inner) {
+			return false
+		}
+		m.inflight++
+		r.Issued = now
+		return true
+	case mem.OpWrite, mem.OpWriteNT, mem.OpClwb:
+		if m.wq >= m.wqMax {
+			return false
+		}
+		m.wq++
+		r.Issued = now
+		m.eng.After(NsToCycles(20), func() { r.Complete(m.eng.Now()) })
+		ci, local := m.Route(r.Addr)
+		w := &mem.Request{Op: mem.OpWrite, Addr: local, Size: 64,
+			OnDone: func(*mem.Request) { m.wq-- }}
+		var push func()
+		push = func() {
+			if !m.channels[ci].Submit(w) {
+				m.eng.After(16, push)
+			}
+		}
+		push()
+		return true
+	case mem.OpFence:
+		r.Issued = now
+		var poll func()
+		poll = func() {
+			if m.Drained() {
+				r.Complete(m.eng.Now())
+				return
+			}
+			m.eng.After(16, poll)
+		}
+		m.eng.After(1, poll)
+		return true
+	default:
+		return false
+	}
+}

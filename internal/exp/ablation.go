@@ -1,0 +1,164 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/dram"
+	"repro/internal/lens"
+	"repro/internal/mem"
+	"repro/internal/vans"
+)
+
+// Ablation studies for the design choices DESIGN.md calls out. These go
+// beyond the paper's figures: each isolates one mechanism of the VANS model
+// and shows the behavior it is responsible for.
+func init() {
+	register("abl-wpolicy", "Ablation: write-through vs write-back RMW/AIT", ablWritePolicy)
+	register("abl-linefill", "Ablation: AIT line fill on vs off", ablLineFill)
+	register("abl-sched", "Ablation: FCFS vs FR-FCFS on-DIMM DRAM", ablSched)
+	register("abl-ileave", "Ablation: interleave granularity sweep", ablInterleave)
+	register("abl-mlp", "Ablation: bandwidth vs outstanding requests (MLP)", ablMLP)
+	register("abl-lsq", "Ablation: LSQ depth sweep", ablLSQ)
+}
+
+func ablWritePolicy(sc Scale) *Result {
+	r := &Result{ID: "abl-wpolicy", Title: "Write-through vs write-back"}
+	run := func(writeThrough bool) (mediaWrites uint64, iterNs float64, migrations uint64) {
+		cfg := vansWearConfig(sc, 1, false)
+		cfg.NV.WriteThrough = writeThrough
+		sys := vans.New(cfg)
+		lats := lens.Overwrite(sys, 0, 256, sc.OverwriteIters/2)
+		var sum float64
+		for _, l := range lats {
+			sum += l
+		}
+		_, w := sys.MediaStats()
+		return w, sum / float64(len(lats)), sys.Migrations()
+	}
+	wtW, wtNs, wtM := run(true)
+	wbW, wbNs, wbM := run(false)
+	t := &analysis.Table{Title: "256B overwrite behavior by write policy",
+		Columns: []string{"policy", "media writes", "iter latency (ns)", "migrations"}}
+	t.AddRow("write-through", fmt.Sprintf("%d", wtW), fmt.Sprintf("%.0f", wtNs), fmt.Sprintf("%d", wtM))
+	t.AddRow("write-back", fmt.Sprintf("%d", wbW), fmt.Sprintf("%.0f", wbNs), fmt.Sprintf("%d", wbM))
+	r.Tables = append(r.Tables, t)
+	r.AddNote("write-through is what reproduces the measured tails: %dx the media writes and %d vs %d migrations",
+		wtW/maxU(wbW, 1), wtM, wbM)
+	r.AddNote("a write-back Optane would never wear under this test — contradicting Figure 7b, which is why VANS models write-through")
+	return r
+}
+
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func ablLineFill(sc Scale) *Result {
+	r := &Result{ID: "abl-linefill", Title: "AIT line fill on vs off"}
+	seqBW := func(fill bool) float64 {
+		cfg := vansConfig(sc, 1, false)
+		cfg.NV.ReadFillLine = fill
+		mk := func() mem.System { return vans.New(cfg) }
+		return lens.StrideBandwidth(mk, 64, 4<<20, mem.OpRead, sc.Opt)
+	}
+	randLat := func(fill bool) float64 {
+		cfg := vansConfig(sc, 1, false)
+		cfg.NV.ReadFillLine = fill
+		mk := func() mem.System { return vans.New(cfg) }
+		return lens.PtrChase(mk, 2<<20, 64, mem.OpRead, sc.Opt)
+	}
+	t := &analysis.Table{Title: "Sequential bandwidth and random latency",
+		Columns: []string{"line fill", "seq read GB/s", "random ns/CL"}}
+	onBW, onLat := seqBW(true), randLat(true)
+	offBW, offLat := seqBW(false), randLat(false)
+	t.AddRow("on", fmt.Sprintf("%.2f", onBW), fmt.Sprintf("%.0f", onLat))
+	t.AddRow("off", fmt.Sprintf("%.2f", offBW), fmt.Sprintf("%.0f", offLat))
+	r.Tables = append(r.Tables, t)
+	r.AddNote("line fill buys %.2fx sequential bandwidth at %.0f%% random-latency cost — the AIT's 4KB line is a sequential-access bet",
+		onBW/offBW, (onLat/offLat-1)*100)
+	return r
+}
+
+func ablSched(sc Scale) *Result {
+	r := &Result{ID: "abl-sched", Title: "On-DIMM DRAM scheduling policy"}
+	lat := func(policy dram.Policy) float64 {
+		cfg := vansConfig(sc, 1, false)
+		cfg.NV.DRAM.Policy = policy
+		mk := func() mem.System { return vans.New(cfg) }
+		// A region in the AIT tier: every access exercises the on-DIMM DRAM.
+		region := cfg.NV.RMWBytes() * 8
+		return lens.PtrChase(mk, region, 64, mem.OpRead, sc.Opt)
+	}
+	fcfs := lat(dram.FCFS)
+	fr := lat(dram.FRFCFS)
+	t := &analysis.Table{Title: "AIT-tier read latency by policy",
+		Columns: []string{"policy", "ns/CL"}}
+	t.AddRow("FCFS", fmt.Sprintf("%.0f", fcfs))
+	t.AddRow("FR-FCFS", fmt.Sprintf("%.0f", fr))
+	r.Tables = append(r.Tables, t)
+	r.AddNote("FR-FCFS changes AIT-tier latency by %.1f%% — small, because table reads are row-local; VANS defaults to FCFS per the paper",
+		(fr/fcfs-1)*100)
+	return r
+}
+
+func ablInterleave(sc Scale) *Result {
+	r := &Result{ID: "abl-ileave", Title: "Interleave granularity sweep"}
+	t := &analysis.Table{Title: "16KB sequential write time by interleave granularity",
+		Columns: []string{"granularity", "exec time (ns)"}}
+	var base float64
+	for _, g := range []uint64{1 << 10, 4 << 10, 16 << 10} {
+		cfg := vansConfig(sc, 6, true)
+		cfg.IMC.InterleaveBytes = g
+		mk := func() mem.System { return vans.New(cfg) }
+		ns := lens.SeqWriteTime(mk, 16<<10, sc.Opt)
+		if g == 4<<10 {
+			base = ns
+		}
+		t.AddRow(mem.Bytes(g), fmt.Sprintf("%.0f", ns))
+	}
+	r.Tables = append(r.Tables, t)
+	r.AddNote("4KB matches the LSQ and AIT line size (exec %.1fus); the paper identifies exactly this co-design", base/1000)
+	return r
+}
+
+func ablMLP(sc Scale) *Result {
+	r := &Result{ID: "abl-mlp", Title: "Bandwidth vs outstanding requests"}
+	s := &analysis.Series{Name: "seq read", XLabel: "window (outstanding)", YLabel: "GB/s"}
+	for _, w := range []int{1, 2, 4, 8, 16, 32} {
+		opt := sc.Opt
+		opt.Window = w
+		mk := mkVANS(sc, 1, false)
+		s.Add(float64(w), lens.StrideBandwidth(mk, 64, 4<<20, mem.OpRead, opt))
+	}
+	r.Series = append(r.Series, s)
+	gain := s.Y[s.Len()-1] / s.Y[0]
+	r.AddNote("bandwidth saturates at %.2fx the window-1 rate: on-DIMM queue contention bounds scaling, the effect behind Optane's poor multi-thread scaling",
+		gain)
+	return r
+}
+
+func ablLSQ(sc Scale) *Result {
+	r := &Result{ID: "abl-lsq", Title: "LSQ depth sweep"}
+	t := &analysis.Table{Title: "Store knee position by LSQ depth",
+		Columns: []string{"LSQ slots", "capacity", "store knee (bytes)"}}
+	for _, slots := range []int{16, 64, 256} {
+		cfg := vansConfig(sc, 1, false)
+		cfg.NV.LSQSlots = slots
+		cfg.NV.LSQHighWater = slots * 3 / 4
+		mk := func() mem.System { return vans.New(cfg) }
+		curve := lens.PtrChaseSweep(mk, analysis.LogSpace(256, 256<<10, 2), 64,
+			mem.OpWriteNT, sc.Opt)
+		knees := analysis.LargestKnees(curve, 1)
+		knee := "-"
+		if len(knees) > 0 {
+			knee = mem.Bytes(uint64(knees[0]))
+		}
+		t.AddRow(fmt.Sprintf("%d", slots), mem.Bytes(uint64(slots)*64), knee)
+	}
+	r.Tables = append(r.Tables, t)
+	r.AddNote("the store knee tracks the configured LSQ capacity — the signature LENS uses to size the structure")
+	return r
+}

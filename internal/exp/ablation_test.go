@@ -1,0 +1,132 @@
+package exp
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestAblWritePolicy(t *testing.T) {
+	r := mustRun(t, "abl-wpolicy")
+	tab := r.Tables[0]
+	wtWrites := cell(t, tab, 0, 1)
+	wbWrites := cell(t, tab, 1, 1)
+	if wtWrites < 10*wbWrites+1 {
+		t.Errorf("write-through media writes (%.0f) not >> write-back (%.0f)",
+			wtWrites, wbWrites)
+	}
+	wtMig := cell(t, tab, 0, 3)
+	wbMig := cell(t, tab, 1, 3)
+	if wtMig == 0 {
+		t.Error("write-through produced no migrations")
+	}
+	if wbMig > wtMig {
+		t.Error("write-back migrated more than write-through")
+	}
+}
+
+func TestAblLineFill(t *testing.T) {
+	r := mustRun(t, "abl-linefill")
+	tab := r.Tables[0]
+	onBW := cell(t, tab, 0, 1)
+	offBW := cell(t, tab, 1, 1)
+	if onBW <= offBW {
+		t.Errorf("line fill did not improve sequential bandwidth: %.2f vs %.2f", onBW, offBW)
+	}
+}
+
+func TestAblSchedRuns(t *testing.T) {
+	r := mustRun(t, "abl-sched")
+	tab := r.Tables[0]
+	if cell(t, tab, 0, 1) <= 0 || cell(t, tab, 1, 1) <= 0 {
+		t.Error("zero latency in scheduling ablation")
+	}
+}
+
+func TestAblInterleaveRuns(t *testing.T) {
+	r := mustRun(t, "abl-ileave")
+	if len(r.Tables[0].Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Tables[0].Rows))
+	}
+}
+
+func TestAblMLPSaturates(t *testing.T) {
+	r := mustRun(t, "abl-mlp")
+	s := r.Series[0]
+	if s.Y[s.Len()-1] <= s.Y[0] {
+		t.Errorf("bandwidth did not grow with window: %.2f -> %.2f", s.Y[0], s.Y[s.Len()-1])
+	}
+	// Saturation: the last doubling gains much less than the first.
+	firstGain := s.Y[1] / s.Y[0]
+	lastGain := s.Y[s.Len()-1] / s.Y[s.Len()-2]
+	if lastGain >= firstGain {
+		t.Errorf("no saturation: first doubling %.2fx, last %.2fx", firstGain, lastGain)
+	}
+}
+
+func TestAblLSQKneeTracksCapacity(t *testing.T) {
+	r := mustRun(t, "abl-lsq")
+	tab := r.Tables[0]
+	// Knee positions must be strictly increasing with LSQ depth.
+	parse := func(s string) float64 {
+		switch s[len(s)-1] {
+		case 'K':
+			v := cellValue(t, s[:len(s)-1])
+			return v * 1024
+		case 'M':
+			v := cellValue(t, s[:len(s)-1])
+			return v * 1024 * 1024
+		default:
+			return cellValue(t, s)
+		}
+	}
+	prev := 0.0
+	for i := range tab.Rows {
+		knee := parse(tab.Rows[i][2])
+		if knee <= prev {
+			t.Errorf("knee %v not increasing with LSQ depth", tab.Rows[i])
+		}
+		prev = knee
+	}
+}
+
+func cellValue(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestOtherNVRAMDistinctDevices(t *testing.T) {
+	r := mustRun(t, "other-nvram")
+	tab := r.Tables[0]
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// The dense-archive device must show a larger L1 grain than Optane.
+	if tab.Rows[0][3] == tab.Rows[2][3] {
+		t.Errorf("archive grain (%s) not distinct from Optane (%s)",
+			tab.Rows[2][3], tab.Rows[0][3])
+	}
+	// Media tiers must order: fast-SCM < Optane < dense-archive.
+	opt := cell(t, tab, 0, 4)
+	fast := cell(t, tab, 1, 4)
+	dense := cell(t, tab, 2, 4)
+	if !(fast < opt && opt < dense) {
+		t.Errorf("media tiers not ordered: fast %.0f, optane %.0f, dense %.0f",
+			fast, opt, dense)
+	}
+}
+
+func TestScalingSaturates(t *testing.T) {
+	r := mustRun(t, "scaling")
+	vRead := r.Series[0]
+	scale := vRead.Y[vRead.Len()-1] / vRead.Y[0]
+	if scale > 4.0 {
+		t.Errorf("read bandwidth scaled %.2fx over 8 streams; contention should bound it well below 8x", scale)
+	}
+	if scale < 0.5 {
+		t.Errorf("read bandwidth collapsed (%.2fx) with streams", scale)
+	}
+}

@@ -1,0 +1,209 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/nvdimm"
+	"repro/internal/trace"
+	"repro/internal/vans"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("fig12a", "Redis profiling: read ops dominate", fig12a)
+	register("fig12b", "YCSB profiling: hot-line wear-leveling", fig12b)
+	register("fig13d", "Optimization speedups: Lazy cache / Pre-translation / Both", fig13d)
+	register("fig13e", "Pre-translation TLB MPKI reduction", fig13e)
+}
+
+// cloudOpts builds the generator options for the scale.
+func cloudOpts(sc Scale, mkpt bool, seed uint64) workload.CloudOptions {
+	return workload.CloudOptions{
+		Instructions: sc.Instructions,
+		Seed:         seed,
+		Mkpt:         mkpt,
+		Footprint:    sc.CloudFootprint,
+	}
+}
+
+func fig12a(sc Scale) *Result {
+	r := &Result{ID: "fig12a", Title: "Redis: read vs rest profile"}
+	sys := vans.New(vansConfig(sc, 1, false))
+	core := cpu.New(cpu.DefaultConfig(), sys)
+	st := core.Run(workload.Redis(cloudOpts(sc, false, 11)))
+
+	perK := func(n uint64, c cpu.InstrClass) float64 {
+		if st.ClassInstrs[c] == 0 {
+			return 0
+		}
+		return float64(n) / float64(st.ClassInstrs[c]) * 1000
+	}
+	// "Rest" aggregates every non-read activity (compute, writes, fences),
+	// matching the paper's read-vs-rest split.
+	readCPI := float64(st.ClassCycles[cpu.ClassRead]) / float64(st.ClassInstrs[cpu.ClassRead])
+	restInstrs := st.ClassInstrs[cpu.ClassOther] + st.ClassInstrs[cpu.ClassWrite]
+	restCPI := float64(st.ClassCycles[cpu.ClassOther]+st.ClassCycles[cpu.ClassWrite]) /
+		float64(restInstrs)
+	readLLC := perK(st.ClassLLCMisses[cpu.ClassRead], cpu.ClassRead)
+	restLLC := float64(st.ClassLLCMisses[cpu.ClassOther]+st.ClassLLCMisses[cpu.ClassWrite]) /
+		float64(restInstrs) * 1000
+	readTLB := perK(st.ClassTLBMisses[cpu.ClassRead], cpu.ClassRead)
+	restTLB := float64(st.ClassTLBMisses[cpu.ClassOther]+st.ClassTLBMisses[cpu.ClassWrite]) /
+		float64(restInstrs) * 1000
+
+	t := &analysis.Table{Title: "Redis: Read normalized to Rest",
+		Columns: []string{"metric", "Read", "Rest", "Read/Rest"}}
+	addRow := func(name string, read, rest float64) {
+		ratio := read
+		if rest > 0 {
+			ratio = read / rest
+		}
+		t.AddRow(name, fmt.Sprintf("%.2f", read), fmt.Sprintf("%.2f", rest),
+			fmt.Sprintf("%.1fx", ratio))
+	}
+	addRow("CPI", readCPI, restCPI)
+	addRow("LLC MPKI", readLLC, restLLC)
+	addRow("TLB MPKI", readTLB, restTLB)
+	r.Tables = append(r.Tables, t)
+	if restCPI > 0 {
+		r.AddNote("read CPI is %.1fx the rest (paper: 8.8x): pointer chasing dominates", readCPI/restCPI)
+	}
+	return r
+}
+
+func fig12b(sc Scale) *Result {
+	r := &Result{ID: "fig12b", Title: "YCSB: Top10 hot lines vs rest"}
+	cfg := vansWearConfig(sc, 1, false)
+	sys := vans.New(cfg)
+	col := trace.NewCollector(sys)
+	core := cpu.New(cpu.DefaultConfig(), col)
+	core.Run(workload.YCSB(cloudOpts(sc, false, 13)))
+
+	// Count writes per cache line as they reached memory.
+	writes := map[uint64]uint64{}
+	var totalWrites uint64
+	for _, rec := range col.Records {
+		if rec.Op.IsWrite() || rec.Op == mem.OpClwb {
+			writes[rec.Addr&^63]++
+			totalWrites++
+		}
+	}
+	top := topK(writes, 10)
+	var topWrites uint64
+	for _, a := range top {
+		topWrites += writes[a]
+	}
+	restWrites := totalWrites - topWrites
+
+	// Attribute wear-leveling migrations by the CPU address whose write
+	// crossed the threshold (hot lines share their 64KB wear block).
+	wearBlock := cfg.NV.Media.WearBlock
+	topBlocks := map[uint64]bool{}
+	for _, a := range top {
+		topBlocks[a-a%wearBlock] = true
+	}
+	var topMigs, restMigs uint64
+	for _, d := range sys.DIMMs() {
+		for _, ev := range d.Wear().Events() {
+			if topBlocks[ev.TriggerCPU-ev.TriggerCPU%wearBlock] {
+				topMigs++
+			} else {
+				restMigs++
+			}
+		}
+	}
+
+	t := &analysis.Table{Title: "YCSB Top10 vs Rest",
+		Columns: []string{"metric", "Top10", "Rest"}}
+	t.AddRow("cache-line writes", fmt.Sprintf("%d", topWrites), fmt.Sprintf("%d", restWrites))
+	t.AddRow("wear-leveling migrations", fmt.Sprintf("%d", topMigs), fmt.Sprintf("%d", restMigs))
+	r.Tables = append(r.Tables, t)
+	share := float64(topWrites) / float64(totalWrites+1)
+	r.AddNote("Top10 lines absorb %.0f%% of writes and trigger %d of %d migrations",
+		share*100, topMigs, topMigs+restMigs)
+	return r
+}
+
+// optVariant runs one cloud workload under one optimization setting and
+// returns the stats.
+func optVariant(sc Scale, name string, lazy, pretrans bool, seed uint64) cpu.Stats {
+	cfg := vansWearConfig(sc, 1, false)
+	sys := vans.New(cfg)
+	ccfg := cpu.DefaultConfig()
+	// A modest TLB makes the chase patterns TLB-bound, as NVRAM-resident
+	// working sets are on the real machine.
+	ccfg.STLBEntries = 192
+	if pretrans {
+		ccfg.RLBEntries = 128
+	}
+	core := cpu.New(ccfg, sys)
+	if lazy {
+		sys.EnableLazyCache(nvdimm.LazyCacheConfig{HotThreshold: 16})
+	}
+	if pretrans {
+		core.AttachPreTrans(sys.EnablePreTranslation(nvdimm.PreTransConfig{}))
+	}
+	w := workload.Cloud(name, cloudOpts(sc, pretrans, seed))
+	return core.Run(w)
+}
+
+func fig13d(sc Scale) *Result {
+	r := &Result{ID: "fig13d", Title: "Speedup of the optimizations"}
+	t := &analysis.Table{Title: "Speedup over baseline",
+		Columns: []string{"workload", "LazyCache", "Pre-Translation", "Both"}}
+	sLazy := &analysis.Series{Name: "LazyCache", XLabel: "workload#", YLabel: "speedup"}
+	sPre := &analysis.Series{Name: "Pre-Translation", XLabel: "workload#", YLabel: "speedup"}
+	sBoth := &analysis.Series{Name: "Both", XLabel: "workload#", YLabel: "speedup"}
+	for i, name := range workload.CloudNames() {
+		base := optVariant(sc, name, false, false, 21)
+		lz := optVariant(sc, name, true, false, 21)
+		pt := optVariant(sc, name, false, true, 21)
+		both := optVariant(sc, name, true, true, 21)
+		spLZ := float64(base.Cycles) / float64(lz.Cycles)
+		spPT := float64(base.Cycles) / float64(pt.Cycles)
+		spBoth := float64(base.Cycles) / float64(both.Cycles)
+		t.AddRow(name, fmt.Sprintf("%.3f", spLZ), fmt.Sprintf("%.3f", spPT),
+			fmt.Sprintf("%.3f", spBoth))
+		sLazy.Add(float64(i), spLZ)
+		sPre.Add(float64(i), spPT)
+		sBoth.Add(float64(i), spBoth)
+	}
+	r.Tables = append(r.Tables, t)
+	r.Series = append(r.Series, sLazy, sPre, sBoth)
+	var lzSum, ptSum float64
+	for i := range sLazy.Y {
+		lzSum += sLazy.Y[i]
+		ptSum += sPre.Y[i]
+	}
+	n := float64(len(sLazy.Y))
+	r.AddNote("mean speedup: LazyCache %.2fx, Pre-translation %.2fx (paper: ~1.10x and up to 1.48x)",
+		lzSum/n, ptSum/n)
+	return r
+}
+
+func fig13e(sc Scale) *Result {
+	r := &Result{ID: "fig13e", Title: "Pre-translation TLB MPKI"}
+	t := &analysis.Table{Title: "Normalized STLB MPKI",
+		Columns: []string{"workload", "baseline MPKI", "pre-trans MPKI", "normalized"}}
+	var normSum float64
+	n := 0
+	for _, name := range workload.CloudNames() {
+		base := optVariant(sc, name, false, false, 33)
+		pt := optVariant(sc, name, false, true, 33)
+		bm, pm := base.STLBMPKI(), pt.STLBMPKI()
+		norm := 1.0
+		if bm > 0 {
+			norm = pm / bm
+		}
+		t.AddRow(name, fmt.Sprintf("%.2f", bm), fmt.Sprintf("%.2f", pm),
+			fmt.Sprintf("%.2f", norm))
+		normSum += norm
+		n++
+	}
+	r.Tables = append(r.Tables, t)
+	r.AddNote("mean normalized TLB MPKI %.2f (paper: 0.83, a 17%% reduction)", normSum/float64(n))
+	return r
+}

@@ -1,0 +1,120 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/baseline"
+	"repro/internal/lens"
+	"repro/internal/mem"
+)
+
+func init() {
+	register("fig1a", "Single-thread bandwidth: PMEP vs Optane (6 DIMM)", fig1a)
+	register("fig1b", "PtrChasing read latency: PMEP vs Optane (1 DIMM)", fig1b)
+	register("fig3a", "Conventional simulator accuracy vs Optane", fig3a)
+	register("fig3b", "Ramulator-PCM vs Optane pointer-chasing latency", fig3b)
+}
+
+func fig1a(sc Scale) *Result {
+	r := &Result{ID: "fig1a", Title: "Single-thread bandwidth (GB/s)"}
+	pmep := bandwidthFlavors(mkPMEP(), sc.Opt)
+	opt := bandwidthFlavors(mkOptane(sc, 6, true), sc.Opt)
+	t := &analysis.Table{
+		Title:   "Bandwidth (GB/s)",
+		Columns: []string{"system", "load", "store", "store-clwb", "store-nt"},
+	}
+	row := func(name string, m map[string]float64) {
+		t.AddRow(name,
+			fmt.Sprintf("%.2f", m["load"]), fmt.Sprintf("%.2f", m["store"]),
+			fmt.Sprintf("%.2f", m["store-clwb"]), fmt.Sprintf("%.2f", m["store-nt"]))
+	}
+	row("PMEP(6DIMM)", pmep)
+	row("Optane(6DIMM)", opt)
+	r.Tables = append(r.Tables, t)
+	r.AddNote("PMEP: store (%.1f) above store-nt (%.1f) — the inversion", pmep["store"], pmep["store-nt"])
+	r.AddNote("Optane: store-nt (%.1f) above store (%.1f); load highest (%.1f)",
+		opt["store-nt"], opt["store"], opt["load"])
+	return r
+}
+
+func fig1b(sc Scale) *Result {
+	r := &Result{ID: "fig1b", Title: "Pointer-chasing read latency per CL"}
+	pm := lens.PtrChaseSweep(mkPMEP(), sc.Regions, 64, mem.OpRead, sc.Opt)
+	pm.Name = "PMEP(1DIMM)"
+	op := lens.PtrChaseSweep(mkOptane(sc, 1, false), sc.Regions, 64, mem.OpRead, sc.Opt)
+	op.Name = "Optane(1DIMM)"
+	r.Series = append(r.Series, pm, op)
+	pmKnees := analysis.Knees(pm, 1.15)
+	opKnees := analysis.Knees(op, 1.15)
+	r.AddNote("PMEP knees: %d (flat curve)", len(pmKnees))
+	r.AddNote("Optane knees: %d (three latency segments)", len(opKnees))
+	return r
+}
+
+func fig3a(sc Scale) *Result {
+	r := &Result{ID: "fig3a", Title: "Simulator average accuracy wrt Optane"}
+	ref := mkOptane(sc, 1, false)
+	refLd := lens.PtrChaseSweep(ref, sc.Regions, 64, mem.OpRead, sc.Opt)
+	refSt := lens.PtrChaseSweep(ref, sc.Regions, 64, mem.OpWriteNT, sc.Opt)
+	sizes := []uint64{256 << 10, 1 << 20, 4 << 20}
+	refBWld := make([]float64, len(sizes))
+	refBWst := make([]float64, len(sizes))
+	for i, s := range sizes {
+		refBWld[i] = lens.StrideBandwidth(ref, 64, s, mem.OpRead, sc.Opt)
+		refBWst[i] = lens.StrideBandwidth(ref, 64, s, mem.OpWriteNT, sc.Opt)
+	}
+
+	t := &analysis.Table{
+		Title:   "Average accuracy",
+		Columns: []string{"simulator", "bw-ld", "bw-st", "lat-ld", "lat-st", "mean"},
+	}
+	kinds := []baseline.SimKind{baseline.DRAMSim2DDR3, baseline.RamulatorDDR4, baseline.RamulatorPCM}
+	var worstMean float64 = 1
+	for _, k := range kinds {
+		mk := mkSlow(k)
+		ld := lens.PtrChaseSweep(mk, sc.Regions, 64, mem.OpRead, sc.Opt)
+		st := lens.PtrChaseSweep(mk, sc.Regions, 64, mem.OpWriteNT, sc.Opt)
+		bwLd := make([]float64, len(sizes))
+		bwSt := make([]float64, len(sizes))
+		for i, s := range sizes {
+			bwLd[i] = lens.StrideBandwidth(mk, 64, s, mem.OpRead, sc.Opt)
+			bwSt[i] = lens.StrideBandwidth(mk, 64, s, mem.OpWriteNT, sc.Opt)
+		}
+		aBWld := analysis.MeanAccuracy(bwLd, refBWld)
+		aBWst := analysis.MeanAccuracy(bwSt, refBWst)
+		aLd := analysis.MeanAccuracy(ld.Y, refLd.Y)
+		aSt := analysis.MeanAccuracy(st.Y, refSt.Y)
+		mean := (aBWld + aBWst + aLd + aSt) / 4
+		if mean < worstMean {
+			worstMean = mean
+		}
+		t.AddRow(k.String(),
+			fmt.Sprintf("%.2f", aBWld), fmt.Sprintf("%.2f", aBWst),
+			fmt.Sprintf("%.2f", aLd), fmt.Sprintf("%.2f", aSt),
+			fmt.Sprintf("%.2f", mean))
+	}
+	r.Tables = append(r.Tables, t)
+	r.AddNote("conventional DRAM-architecture simulators mismatch Optane (worst mean accuracy %.2f)", worstMean)
+	return r
+}
+
+func fig3b(sc Scale) *Result {
+	r := &Result{ID: "fig3b", Title: "Ramulator-PCM vs Optane read latency"}
+	regions := sc.Regions
+	// The paper plots 256B..64KB for this comparison.
+	var rs []uint64
+	for _, reg := range regions {
+		if reg <= 64<<10 {
+			rs = append(rs, reg)
+		}
+	}
+	pcm := lens.PtrChaseSweep(mkSlow(baseline.RamulatorPCM), rs, 64, mem.OpRead, sc.Opt)
+	pcm.Name = "Ramulator-PCM"
+	op := lens.PtrChaseSweep(mkOptane(sc, 1, false), rs, 64, mem.OpRead, sc.Opt)
+	op.Name = "Optane"
+	r.Series = append(r.Series, pcm, op)
+	r.AddNote("Ramulator-PCM stays flat (%d knees); Optane rises with region size (%d knees)",
+		len(analysis.Knees(pcm, 1.25)), len(analysis.Knees(op, 1.25)))
+	return r
+}

@@ -1,0 +1,177 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/lens"
+	"repro/internal/mem"
+	"repro/internal/optane"
+	"repro/internal/vans"
+)
+
+func init() {
+	register("fig9a", "VANS vs Optane: pointer chasing, 1 DIMM", fig9a)
+	register("fig9b", "VANS vs Optane: pointer chasing, 6 interleaved DIMMs", fig9b)
+	register("fig9c", "RMW buffer read amplification: VANS vs Optane", fig9c)
+	register("fig9d", "Overwrite tail latency: VANS vs Optane", fig9d)
+	register("fig9e", "VANS accuracy across metrics", fig9e)
+	register("fig10a", "Sensitivity: media capacity", fig10a)
+	register("fig10b", "Sensitivity: number of DIMMs", fig10b)
+}
+
+// validationCurves runs the ld/st sweeps on VANS and the reference.
+func validationCurves(sc Scale, dimms int, interleaved bool) (vLd, vSt, oLd, oSt *analysis.Series) {
+	mkV := mkVANS(sc, dimms, interleaved)
+	mkO := mkOptane(sc, dimms, interleaved)
+	vLd = lens.PtrChaseSweep(mkV, sc.Regions, 64, mem.OpRead, sc.Opt)
+	vLd.Name = "VANS-ld"
+	vSt = lens.PtrChaseSweep(mkV, sc.Regions, 64, mem.OpWriteNT, sc.Opt)
+	vSt.Name = "VANS-st"
+	oLd = lens.PtrChaseSweep(mkO, sc.Regions, 64, mem.OpRead, sc.Opt)
+	oLd.Name = "Optane-ld"
+	oSt = lens.PtrChaseSweep(mkO, sc.Regions, 64, mem.OpWriteNT, sc.Opt)
+	oSt.Name = "Optane-st"
+	return
+}
+
+func fig9a(sc Scale) *Result {
+	r := &Result{ID: "fig9a", Title: "Pointer chasing validation (1 DIMM)"}
+	vLd, vSt, oLd, oSt := validationCurves(sc, 1, false)
+	r.Series = append(r.Series, oLd, oSt, vLd, vSt)
+	r.AddNote("load accuracy %.2f, store accuracy %.2f",
+		analysis.MeanAccuracy(vLd.Y, oLd.Y), analysis.MeanAccuracy(vSt.Y, oSt.Y))
+	r.AddNote("small-region store latency deviates (CPU on-core mfence cost unmodeled, as in the paper's Fig. 9a)")
+	return r
+}
+
+func fig9b(sc Scale) *Result {
+	r := &Result{ID: "fig9b", Title: "Pointer chasing validation (6 DIMMs interleaved)"}
+	vLd, vSt, oLd, oSt := validationCurves(sc, 6, true)
+	r.Series = append(r.Series, oLd, oSt, vLd, vSt)
+	r.AddNote("interleaved load accuracy %.2f, store accuracy %.2f",
+		analysis.MeanAccuracy(vLd.Y, oLd.Y), analysis.MeanAccuracy(vSt.Y, oSt.Y))
+	return r
+}
+
+func fig9c(sc Scale) *Result {
+	r := &Result{ID: "fig9c", Title: "RMW read amplification validation"}
+	cfg := vansConfig(sc, 1, false)
+	mkV := mkVANS(sc, 1, false)
+	v := ampScores(mkV, cfg.NV.RMWBytes()*4, cfg.NV.RMWBytes()/2, sc.BlockSizes, mem.OpRead, sc.Opt)
+	v.Name = "VANS"
+	// The reference amplification is the analytic counter-tool curve.
+	p := refParams(sc)
+	o := &analysis.Series{Name: "Optane (counter tool)",
+		XLabel: "PC-Block size (bytes)", YLabel: "score"}
+	for _, bs := range sc.BlockSizes {
+		o.Add(float64(bs), optane.AmplificationScore(bs, p.RMWGrain, v.Y[0]*p.ReadRMWNs, p.ReadRMWNs))
+	}
+	r.Series = append(r.Series, o, v)
+	r.AddNote("both curves fall toward 1 at the 256B RMW entry; VANS knees: %v",
+		analysis.ScoreKnees(sc.BlockSizes, v.Y, 0.05))
+	return r
+}
+
+func fig9d(sc Scale) *Result {
+	r := &Result{ID: "fig9d", Title: "Overwrite tail validation"}
+	sysV := vans.New(vansWearConfig(sc, 1, false))
+	vl := lens.Overwrite(sysV, 0, 256, sc.OverwriteIters)
+	sysO := optane.New(optane.Config{Params: refWearParams(sc), DIMMs: 1, Seed: 7})
+	ol := lens.Overwrite(sysO, 0, 256, sc.OverwriteIters)
+	sv := &analysis.Series{Name: "VANS-overwrite", XLabel: "iteration", YLabel: "ns"}
+	so := &analysis.Series{Name: "Optane-overwrite", XLabel: "iteration", YLabel: "ns"}
+	for i := range vl {
+		sv.Add(float64(i), vl[i])
+	}
+	for i := range ol {
+		so.Add(float64(i), ol[i])
+	}
+	r.Series = append(r.Series, so, sv)
+	tv := analysis.Tails(vl, 8)
+	to := analysis.Tails(ol, 8)
+	r.AddNote("tail interval: VANS %.0f vs Optane %.0f iterations; tail magnitude %.0fus vs %.0fus",
+		tv.MeanInterval(), to.MeanInterval(), tv.MeanTail/1000, to.MeanTail/1000)
+	return r
+}
+
+func fig9e(sc Scale) *Result {
+	r := &Result{ID: "fig9e", Title: "VANS accuracy over metrics"}
+	vLd, vSt, oLd, oSt := validationCurves(sc, 1, false)
+	mkV := mkVANS(sc, 1, false)
+	mkO := mkOptane(sc, 1, false)
+	sizes := []uint64{256 << 10, 1 << 20, 4 << 20}
+	var vBWld, vBWst, oBWld, oBWst []float64
+	for _, s := range sizes {
+		vBWld = append(vBWld, lens.StrideBandwidth(mkV, 64, s, mem.OpRead, sc.Opt))
+		vBWst = append(vBWst, lens.StrideBandwidth(mkV, 64, s, mem.OpWriteNT, sc.Opt))
+		oBWld = append(oBWld, lens.StrideBandwidth(mkO, 64, s, mem.OpRead, sc.Opt))
+		oBWst = append(oBWst, lens.StrideBandwidth(mkO, 64, s, mem.OpWriteNT, sc.Opt))
+	}
+	accs := map[string]float64{
+		"Lat-ld": analysis.MeanAccuracy(vLd.Y, oLd.Y),
+		"Lat-st": analysis.MeanAccuracy(vSt.Y, oSt.Y),
+		"BW-ld":  analysis.MeanAccuracy(vBWld, oBWld),
+		"BW-st":  analysis.MeanAccuracy(vBWst, oBWst),
+	}
+	t := &analysis.Table{Title: "VANS accuracy", Columns: []string{"metric", "accuracy"}}
+	mean := 0.0
+	for _, k := range []string{"Lat-ld", "Lat-st", "BW-ld", "BW-st"} {
+		t.AddRow(k, fmt.Sprintf("%.3f", accs[k]))
+		mean += accs[k]
+	}
+	mean /= 4
+	t.AddRow("mean", fmt.Sprintf("%.3f", mean))
+	r.Tables = append(r.Tables, t)
+	r.AddNote("average accuracy %.1f%% (paper reports 86.5%%)", mean*100)
+	return r
+}
+
+func fig10a(sc Scale) *Result {
+	r := &Result{ID: "fig10a", Title: "Media capacity sensitivity"}
+	caps := []uint64{2 << 30, 4 << 30, 8 << 30, 16 << 30}
+	if sc.Divisor > 1 {
+		caps = []uint64{32 << 20, 64 << 20, 128 << 20, 256 << 20}
+	}
+	var first *analysis.Series
+	worst := 1.0
+	for _, capBytes := range caps {
+		cfg := vansConfig(sc, 1, false)
+		cfg.NV.Media.Capacity = capBytes
+		mk := func() mem.System { return vans.New(cfg) }
+		s := lens.PtrChaseSweep(mk, sc.Regions, 64, mem.OpRead, sc.Opt)
+		s.Name = mem.Bytes(capBytes)
+		r.Series = append(r.Series, s)
+		if first == nil {
+			first = s
+		} else if a := analysis.MeanAccuracy(s.Y, first.Y); a < worst {
+			worst = a
+		}
+	}
+	r.AddNote("latency curves agree within %.1f%% across capacities: buffers hide the media size", worst*100)
+	return r
+}
+
+func fig10b(sc Scale) *Result {
+	r := &Result{ID: "fig10b", Title: "DIMM count sensitivity"}
+	for _, n := range []int{1, 2, 4, 6} {
+		mk := mkVANS(sc, n, n > 1)
+		ld := lens.PtrChaseSweep(mk, sc.Regions, 64, mem.OpRead, sc.Opt)
+		ld.Name = fmt.Sprintf("ld-%dDIMM", n)
+		st := lens.PtrChaseSweep(mk, sc.Regions, 64, mem.OpWriteNT, sc.Opt)
+		st.Name = fmt.Sprintf("st-%dDIMM", n)
+		r.Series = append(r.Series, ld, st)
+	}
+	// With more DIMMs the buffering effect is postponed for regions wider
+	// than the 4KB interleave span: each DIMM sees 1/N of the region, so
+	// knees above 4KB (the AIT tier) shift right.
+	oneLd := r.Series[0]
+	sixLd := r.Series[6]
+	k1 := analysis.LargestKnees(oneLd, 2)
+	k6 := analysis.LargestKnees(sixLd, 2)
+	if len(k1) > 1 && len(k6) > 1 {
+		r.AddNote("second read knee moves from %s (1 DIMM) to %s (6 DIMMs)",
+			mem.Bytes(uint64(k1[1])), mem.Bytes(uint64(k6[1])))
+	}
+	return r
+}

@@ -1,0 +1,58 @@
+package exp
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/lens"
+)
+
+func init() {
+	register("tab1", "Profiling-tool capability matrix (Table I)", tab1)
+	register("tab2", "LENS overview (Table II)", tab2)
+	register("tab3", "Server hardware configuration (Table III)", tab3)
+	register("tab5", "Simulated system configuration (Table V)", tab5)
+}
+
+func tab1(Scale) *Result {
+	r := &Result{ID: "tab1", Title: "Profiling tool comparison"}
+	r.Tables = append(r.Tables, lens.CapabilityMatrix())
+	r.AddNote("only LENS covers buffer structure, migration policy, and internal performance")
+	return r
+}
+
+func tab2(Scale) *Result {
+	r := &Result{ID: "tab2", Title: "LENS overview"}
+	r.Tables = append(r.Tables, lens.Overview())
+	return r
+}
+
+func tab3(Scale) *Result {
+	r := &Result{ID: "tab3", Title: "Server hardware configuration"}
+	t := &analysis.Table{Title: "Table III", Columns: []string{"component", "configuration"}}
+	t.AddRow("CPU", "Intel Cascade Lake, 24 cores/socket, 2.2 GHz, 2 sockets")
+	t.AddRow("L1 cache", "32KB 8-way I$, 32KB 8-way D$, private")
+	t.AddRow("L2 cache", "1MB, 16-way, private")
+	t.AddRow("L3 cache", "33MB, 11-way, shared")
+	t.AddRow("TLB", "L1D 4-way 64 entries; STLB 12-way 1536 entries")
+	t.AddRow("DRAM", "DDR4, 32GB, 2666MHz, 6 channels/socket")
+	t.AddRow("NVRAM", "Intel Optane DIMM, 256GB, 2666MHz, 6 channels/socket")
+	r.Tables = append(r.Tables, t)
+	return r
+}
+
+func tab5(Scale) *Result {
+	r := &Result{ID: "tab5", Title: "Simulated system configuration"}
+	t := &analysis.Table{Title: "Table V", Columns: []string{"component", "configuration"}}
+	t.AddRow("Core", "4 cores, out-of-order, 2.2GHz; ROB-SQ-LQ 224-56-72")
+	t.AddRow("L1/L2/L3", "32KB 8-way / 1MB 16-way / 32MB 16-way")
+	t.AddRow("TLB", "L1D 64x4; L2TLB 1536 entries")
+	t.AddRow("WPQ", "512B (8 x 64B per channel)")
+	t.AddRow("DRAM", "DDR4-2666, tCAS/tRCD/tRP/tRAS = 19/19/19/43")
+	t.AddRow("NVRAM", "2666MHz, 4KB interleaving")
+	t.AddRow("LSQ", "64 entries, 64B line (4KB)")
+	t.AddRow("RMW Buffer", "64 entries, 256B line (16KB)")
+	t.AddRow("AIT Buffer", "4096 entries, 4KB line (16MB)")
+	t.AddRow("Internal DRAM", "DDR4-2666 (DDR-T timing base)")
+	t.AddRow("Operation mode", "AppDirect")
+	r.Tables = append(r.Tables, t)
+	return r
+}

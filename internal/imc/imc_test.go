@@ -1,0 +1,128 @@
+package imc
+
+import (
+	"testing"
+
+	"repro/internal/nvdimm"
+	"repro/internal/sim"
+)
+
+func newIMC(t *testing.T, n int, interleaved bool) (*sim.Engine, *IMC) {
+	t.Helper()
+	eng := sim.NewEngine()
+	nv := nvdimm.DefaultConfig()
+	nv.Media.Capacity = 32 << 20
+	var dimms []*nvdimm.DIMM
+	for i := 0; i < n; i++ {
+		dimms = append(dimms, nvdimm.New(eng, nv, uint64(i+1)))
+	}
+	cfg := DefaultConfig()
+	cfg.Interleaved = interleaved
+	return eng, New(eng, cfg, dimms)
+}
+
+func TestReadCompletes(t *testing.T) {
+	eng, m := newIMC(t, 1, false)
+	done := false
+	if !m.Read(4096, func() { done = true }) {
+		t.Fatal("read rejected")
+	}
+	eng.Run()
+	if !done {
+		t.Fatal("read never completed")
+	}
+	if m.Stats().Reads != 1 {
+		t.Fatalf("stats = %+v", m.Stats())
+	}
+}
+
+func TestWriteCompletesAtWPQAccept(t *testing.T) {
+	eng, m := newIMC(t, 1, false)
+	var at sim.Cycle = sim.Never
+	if !m.Write(64, nil, func() { at = eng.Now() }) {
+		t.Fatal("write rejected")
+	}
+	var readAt sim.Cycle = sim.Never
+	m.Read(1<<20, func() { readAt = eng.Now() })
+	eng.Run()
+	if at == sim.Never || readAt == sim.Never {
+		t.Fatal("operations never completed")
+	}
+	if at >= readAt {
+		t.Fatalf("posted write (%d) not faster than cold read (%d)", at, readAt)
+	}
+}
+
+func TestWPQBackpressureAfterCapacityDistinctLines(t *testing.T) {
+	eng, m := newIMC(t, 1, false)
+	accepted := 0
+	for i := 0; i < 64; i++ {
+		if m.Write(uint64(i)*64, nil, func() {}) {
+			accepted++
+		} else {
+			break
+		}
+	}
+	if accepted < 8 {
+		t.Fatalf("accepted only %d writes, want at least WPQ capacity (8)", accepted)
+	}
+	if accepted >= 64 {
+		t.Fatal("WPQ never exerted backpressure over 64 distinct lines")
+	}
+	eng.Run()
+}
+
+func TestWPQMergeAvoidsBackpressure(t *testing.T) {
+	eng, m := newIMC(t, 1, false)
+	// Hammer the same line: merging must always accept.
+	for i := 0; i < 100; i++ {
+		if !m.Write(0, nil, func() {}) {
+			t.Fatalf("merge write %d rejected", i)
+		}
+	}
+	eng.Run()
+	if m.Stats().WPQMerges == 0 {
+		t.Fatal("no WPQ merges recorded")
+	}
+}
+
+func TestFenceDrainsEverything(t *testing.T) {
+	eng, m := newIMC(t, 2, true)
+	for i := 0; i < 16; i++ {
+		m.Write(uint64(i)*64, nil, func() {})
+	}
+	fenced := false
+	m.Fence(func() { fenced = true })
+	eng.Run()
+	if !fenced {
+		t.Fatal("fence never completed")
+	}
+	if m.Busy() {
+		t.Fatal("iMC busy after fence")
+	}
+}
+
+func TestRPQBoundsOutstandingReads(t *testing.T) {
+	_, m := newIMC(t, 1, false)
+	issued := 0
+	for i := 0; i < 64; i++ {
+		if m.Read(uint64(i)*4096, func() {}) {
+			issued++
+		}
+	}
+	if issued != DefaultConfig().RPQSlots {
+		t.Fatalf("issued %d reads, want RPQ capacity %d", issued, DefaultConfig().RPQSlots)
+	}
+}
+
+func TestRouteDistributesAcrossChannels(t *testing.T) {
+	_, m := newIMC(t, 6, true)
+	seen := map[int]bool{}
+	for i := 0; i < 6; i++ {
+		ch, _ := m.Route(uint64(i) * 4096)
+		seen[ch] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("6 consecutive 4KB spans hit %d channels, want 6", len(seen))
+	}
+}

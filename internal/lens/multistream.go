@@ -1,0 +1,114 @@
+package lens
+
+import (
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// MultiStreamBandwidth drives `streams` independent access sequences into
+// one system concurrently, each with its own outstanding window — the
+// multi-threaded access pattern whose poor scaling on Optane the follow-on
+// literature attributes to WPQ/RMW/AIT contention. It returns the aggregate
+// GB/s.
+//
+// Streams are interleaved at submission: every stream keeps up to
+// perStreamWindow requests in flight, and the engine advances whenever all
+// runnable streams are blocked.
+func MultiStreamBandwidth(mk MakeSystem, streams int, perStream []([]mem.Access),
+	perStreamWindow int) float64 {
+	sys := mk()
+	eng := sys.Engine()
+	if perStreamWindow < 1 {
+		perStreamWindow = 1
+	}
+
+	type streamState struct {
+		accs     []mem.Access
+		next     int
+		inflight int
+	}
+	states := make([]*streamState, streams)
+	var totalBytes uint64
+	for i := 0; i < streams; i++ {
+		states[i] = &streamState{accs: perStream[i%len(perStream)]}
+		totalBytes += uint64(len(states[i].accs)) * 64
+	}
+
+	start := eng.Now()
+	var id uint64
+	remaining := streams
+	for remaining > 0 {
+		progressed := false
+		for _, st := range states {
+			if st.next >= len(st.accs) {
+				continue
+			}
+			for st.inflight < perStreamWindow && st.next < len(st.accs) {
+				a := st.accs[st.next]
+				id++
+				stRef := st
+				r := &mem.Request{ID: id, Op: a.Op, Addr: a.Addr, Size: a.Size,
+					OnDone: func(*mem.Request) { stRef.inflight-- }}
+				if !sys.Submit(r) {
+					break
+				}
+				st.next++
+				st.inflight++
+				progressed = true
+				if st.next >= len(st.accs) {
+					remaining--
+				}
+			}
+		}
+		if !progressed {
+			if eng.Pending() == 0 {
+				panic("lens: multistream stalled with no pending events")
+			}
+			fired := eng.Fired()
+			eng.RunWhile(func() bool { return eng.Fired() == fired })
+		}
+	}
+	// Drain all in-flight requests.
+	for {
+		busy := false
+		for _, st := range states {
+			if st.inflight > 0 {
+				busy = true
+			}
+		}
+		if !busy {
+			break
+		}
+		if eng.Pending() == 0 {
+			panic("lens: multistream drain stalled")
+		}
+		fired := eng.Fired()
+		eng.RunWhile(func() bool { return eng.Fired() == fired })
+	}
+	elapsed := eng.Now() - start
+	return mem.BandwidthGBs(sys, totalBytes, elapsed)
+}
+
+// StreamAccesses builds one stream's access list: sequential 64B ops inside
+// a private address range (streams do not share lines, as independent
+// threads would not).
+func StreamAccesses(stream int, n int, op mem.Op, rangeBytes uint64) []mem.Access {
+	base := uint64(stream) * rangeBytes
+	accs := make([]mem.Access, n)
+	for i := range accs {
+		accs[i] = mem.Access{Op: op, Addr: base + uint64(i)*64%rangeBytes, Size: 64}
+	}
+	return accs
+}
+
+// RandomStreamAccesses builds a random-order stream (per-thread pointer
+// chase flavor).
+func RandomStreamAccesses(stream int, n int, op mem.Op, rangeBytes uint64, seed uint64) []mem.Access {
+	base := uint64(stream) * rangeBytes
+	rng := sim.NewRNG(seed + uint64(stream)*977)
+	accs := make([]mem.Access, n)
+	for i := range accs {
+		accs[i] = mem.Access{Op: op, Addr: base + rng.Uint64n(rangeBytes)&^63, Size: 64}
+	}
+	return accs
+}

@@ -1,0 +1,86 @@
+package lens
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/mem"
+)
+
+func pmepMaker() MakeSystem {
+	return func() mem.System { return baseline.NewPMEP(baseline.DefaultPMEP(), 1) }
+}
+
+func TestMultiStreamBandwidthCompletesAllStreams(t *testing.T) {
+	streams := [][]mem.Access{
+		StreamAccesses(0, 200, mem.OpRead, 1<<20),
+		StreamAccesses(1, 200, mem.OpRead, 1<<20),
+		StreamAccesses(2, 200, mem.OpWriteNT, 1<<20),
+	}
+	bw := MultiStreamBandwidth(pmepMaker(), 3, streams, 4)
+	if bw <= 0 {
+		t.Fatalf("bandwidth = %v", bw)
+	}
+}
+
+func TestMultiStreamMoreStreamsMoreAggregateOnUnboundedSystem(t *testing.T) {
+	// On the occupancy-bound PMEP model, more streams raise aggregate
+	// bandwidth until the pipe saturates; never decrease it drastically.
+	one := MultiStreamBandwidth(pmepMaker(), 1,
+		[][]mem.Access{StreamAccesses(0, 400, mem.OpRead, 1<<20)}, 4)
+	four := MultiStreamBandwidth(pmepMaker(), 4, [][]mem.Access{
+		StreamAccesses(0, 400, mem.OpRead, 1<<20),
+		StreamAccesses(1, 400, mem.OpRead, 1<<20),
+		StreamAccesses(2, 400, mem.OpRead, 1<<20),
+		StreamAccesses(3, 400, mem.OpRead, 1<<20),
+	}, 4)
+	if four < one {
+		t.Fatalf("4-stream bandwidth (%.2f) below 1-stream (%.2f)", four, one)
+	}
+}
+
+func TestMultiStreamReusesStreamListModulo(t *testing.T) {
+	// Fewer access lists than streams: lists cycle.
+	streams := [][]mem.Access{StreamAccesses(0, 100, mem.OpRead, 1<<20)}
+	bw := MultiStreamBandwidth(pmepMaker(), 3, streams, 2)
+	if bw <= 0 {
+		t.Fatalf("bandwidth = %v", bw)
+	}
+}
+
+func TestStreamAccessesDisjointRanges(t *testing.T) {
+	a := StreamAccesses(0, 50, mem.OpRead, 1<<16)
+	b := StreamAccesses(1, 50, mem.OpRead, 1<<16)
+	for i := range a {
+		if a[i].Addr>>16 == b[i].Addr>>16 {
+			t.Fatal("streams share an address range")
+		}
+	}
+}
+
+func TestRandomStreamAccessesInRange(t *testing.T) {
+	accs := RandomStreamAccesses(2, 200, mem.OpWriteNT, 1<<16, 7)
+	base := uint64(2) << 16
+	for _, a := range accs {
+		if a.Addr < base || a.Addr >= base+1<<16 {
+			t.Fatalf("address %#x outside stream range", a.Addr)
+		}
+		if a.Addr%64 != 0 {
+			t.Fatalf("address %#x not line aligned", a.Addr)
+		}
+	}
+	// Deterministic per seed.
+	again := RandomStreamAccesses(2, 200, mem.OpWriteNT, 1<<16, 7)
+	for i := range accs {
+		if accs[i] != again[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestMultiStreamWindowClamp(t *testing.T) {
+	streams := [][]mem.Access{StreamAccesses(0, 20, mem.OpRead, 1<<20)}
+	if bw := MultiStreamBandwidth(pmepMaker(), 1, streams, 0); bw <= 0 {
+		t.Fatal("window clamp failed")
+	}
+}

@@ -1,0 +1,314 @@
+package lens
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/mem"
+)
+
+// BufferReport is what the buffer prober reverse-engineers (Figure 4's blue
+// numbers for the on-DIMM buffers).
+type BufferReport struct {
+	// ReadBufferBytes are detected read-side buffer capacities (ascending):
+	// 16KB RMW buffer and 16MB AIT buffer on Optane.
+	ReadBufferBytes []uint64
+	// WriteBufferBytes are detected write-side queue capacities: 512B WPQ
+	// and 4KB LSQ on Optane.
+	WriteBufferBytes []uint64
+	// ReadGranularity maps each read buffer to its detected entry size
+	// (256B and 4KB on Optane).
+	ReadGranularity []uint64
+	// InclusiveHierarchy reports whether the read buffers form an inclusive
+	// hierarchy (no parallel fast-forward speedup in the RaW test).
+	InclusiveHierarchy bool
+	// Curves keeps the raw sweeps for validation plots.
+	ReadCurve  *analysis.Series
+	WriteCurve *analysis.Series
+}
+
+// BufferProberConfig bounds the sweeps.
+type BufferProberConfig struct {
+	// Regions scanned for overflow knees.
+	Regions []uint64
+	// BlockSizes scanned for amplification granularity.
+	BlockSizes []uint64
+	// KneeRatio is the jump ratio that counts as an inflection.
+	KneeRatio float64
+	// MaxReadKnees bounds how many read buffers to report.
+	MaxReadKnees int
+	Options      Options
+}
+
+// DefaultBufferProberConfig scans 256B..64MB, the paper's range.
+func DefaultBufferProberConfig() BufferProberConfig {
+	return BufferProberConfig{
+		Regions:      analysis.LogSpace(256, 64<<20, 2),
+		BlockSizes:   analysis.LogSpace(64, 8<<10, 2),
+		KneeRatio:    1.25,
+		MaxReadKnees: 2,
+		Options:      DefaultOptions(),
+	}
+}
+
+// BufferProber runs the capacity, granularity, and hierarchy analyses.
+func BufferProber(mk MakeSystem, cfg BufferProberConfig) BufferReport {
+	if cfg.KneeRatio == 0 {
+		cfg = DefaultBufferProberConfig()
+	}
+	var rep BufferReport
+	rep.ReadCurve = PtrChaseSweep(mk, cfg.Regions, 64, mem.OpRead, cfg.Options)
+	rep.WriteCurve = PtrChaseSweep(mk, cfg.Regions, 64, mem.OpWriteNT, cfg.Options)
+
+	rep.ReadBufferBytes = kneesToBytes(analysis.LargestKnees(rep.ReadCurve, cfg.MaxReadKnees))
+	rep.WriteBufferBytes = kneesToBytes(analysis.LargestKnees(rep.WriteCurve, 2))
+
+	// Granularity: a single amplification-score sweep over PC-Block sizes
+	// with a region just past the first buffer exposes every structure's
+	// access granularity as a drop-then-flatten knee in the score curve
+	// (Figure 6a carries both the 256B RMW and 4KB AIT knees).
+	if len(rep.ReadBufferBytes) > 0 {
+		overflow := rep.ReadBufferBytes[0] * 4
+		if len(rep.ReadBufferBytes) > 1 && overflow > rep.ReadBufferBytes[1] {
+			overflow = rep.ReadBufferBytes[1]
+		}
+		fit := rep.ReadBufferBytes[0] / 2
+		var scores []float64
+		for _, bs := range cfg.BlockSizes {
+			over := PtrChase(mk, overflow, bs, mem.OpRead, cfg.Options)
+			in := PtrChase(mk, fit, bs, mem.OpRead, cfg.Options)
+			scores = append(scores, analysis.AmplificationScore(over, in))
+		}
+		rep.ReadGranularity = analysis.ScoreKnees(cfg.BlockSizes, scores, 0.05)
+		if len(rep.ReadGranularity) > len(rep.ReadBufferBytes) {
+			rep.ReadGranularity = rep.ReadGranularity[:len(rep.ReadBufferBytes)]
+		}
+	}
+
+	// Hierarchy: RaW at a region between the two read buffers. Independent
+	// buffers would fast-forward in parallel (RaW < R+W); an inclusive
+	// hierarchy does not.
+	region := uint64(64 << 10)
+	if len(rep.ReadBufferBytes) > 0 {
+		region = rep.ReadBufferBytes[0] * 4
+	}
+	raw := ReadAfterWrite(mk, region, cfg.Options)
+	rep.InclusiveHierarchy = !raw.SpeedupFast
+	return rep
+}
+
+func kneesToBytes(xs []float64) []uint64 {
+	out := make([]uint64, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, uint64(x))
+	}
+	return out
+}
+
+// PolicyReport is the policy prober's output: wear-leveling migration
+// parameters and multi-DIMM interleaving.
+type PolicyReport struct {
+	// MigrationIntervalIters is the mean iterations between tails in the
+	// 256B overwrite test (~14,000 on Optane).
+	MigrationIntervalIters float64
+	// MigrationLatencyNs is the mean tail magnitude (~55us, >100x normal).
+	MigrationLatencyNs float64
+	// NormalIterNs is the non-tail iteration latency.
+	NormalIterNs float64
+	// MigrationBlockBytes is the detected wear-leveling block size: the
+	// overwrite region size at which tail frequency collapses (64KB).
+	MigrationBlockBytes uint64
+	// TailRatioByRegion is the Figure 7c curve.
+	TailRatioByRegion *analysis.Series
+	// InterleaveBytes is the detected interleave granularity (4KB), or 0
+	// when no interleaving is detected.
+	InterleaveBytes uint64
+	// SeqWriteCurve is the Figure 7a execution-time curve.
+	SeqWriteCurve *analysis.Series
+}
+
+// PolicyProberConfig bounds the policy analyses.
+type PolicyProberConfig struct {
+	// OverwriteIters is the iteration count of the tail test.
+	OverwriteIters int
+	// TailFactor classifies an iteration as a tail.
+	TailFactor float64
+	// Regions scanned for the migration-block detection.
+	Regions []uint64
+	// SeqSizes scanned for interleave detection.
+	SeqSizes []uint64
+	Options  Options
+}
+
+// DefaultPolicyProberConfig matches the paper's ranges (scaled iteration
+// counts are set by callers on scaled systems).
+func DefaultPolicyProberConfig() PolicyProberConfig {
+	return PolicyProberConfig{
+		OverwriteIters: 60000,
+		TailFactor:     8,
+		Regions:        analysis.LogSpace(256, 512<<10, 2),
+		SeqSizes:       analysis.LogSpace(1<<10, 16<<10, 2),
+		Options:        DefaultOptions(),
+	}
+}
+
+// PolicyProber runs the migration and interleaving analyses.
+func PolicyProber(mk MakeSystem, cfg PolicyProberConfig) PolicyReport {
+	if cfg.OverwriteIters == 0 {
+		cfg = DefaultPolicyProberConfig()
+	}
+	var rep PolicyReport
+
+	// Migration frequency and latency: constant 256B overwrite.
+	sys := mk()
+	lats := Overwrite(sys, 0, 256, cfg.OverwriteIters)
+	st := analysis.Tails(lats, cfg.TailFactor)
+	rep.MigrationIntervalIters = st.MeanInterval()
+	if rep.MigrationIntervalIters == 0 && st.Tails == 1 {
+		// A single tail: interval is at least the full run.
+		rep.MigrationIntervalIters = float64(st.N)
+	}
+	rep.MigrationLatencyNs = st.MeanTail - st.MeanNormal
+	rep.NormalIterNs = st.MeanNormal
+
+	// Migration block size: tail frequency normalized per byte written
+	// collapses once the region spans multiple wear blocks.
+	rep.TailRatioByRegion = &analysis.Series{
+		Name: "tail-ratio", XLabel: "overwrite region (bytes)", YLabel: "tails per KB written"}
+	totalBytes := uint64(cfg.OverwriteIters) * 256
+	var prevRate float64
+	rep.MigrationBlockBytes = cfg.Regions[len(cfg.Regions)-1]
+	found := false
+	for _, region := range cfg.Regions {
+		iters := int(totalBytes / region)
+		if iters < 50 {
+			iters = 50
+		}
+		s := mk()
+		l := Overwrite(s, 0, region, iters)
+		ts := analysis.Tails(l, cfg.TailFactor)
+		rate := float64(ts.Tails) / (float64(region) * float64(iters) / 1024)
+		rep.TailRatioByRegion.Add(float64(region), rate)
+		if !found && prevRate > 0 && rate < prevRate/4 {
+			rep.MigrationBlockBytes = region
+			found = true
+		}
+		prevRate = rate
+	}
+
+	// Interleaving: sequential-write execution time. The granularity shows
+	// as the size beyond which marginal time per byte drops (additional
+	// DIMMs engage).
+	rep.SeqWriteCurve = &analysis.Series{
+		Name: "seq-write", XLabel: "access size (bytes)", YLabel: "execution time (ns)"}
+	for _, sz := range cfg.SeqSizes {
+		rep.SeqWriteCurve.Add(float64(sz), SeqWriteTime(mk, sz, cfg.Options))
+	}
+	rep.InterleaveBytes = detectInterleave(rep.SeqWriteCurve)
+	return rep
+}
+
+// detectInterleave finds the size beyond which the marginal execution time
+// per byte drops sharply — additional DIMMs engaging in parallel. It returns
+// the last size before the drop (the interleave granularity), or 0 when the
+// marginal cost stays flat (no interleaving).
+func detectInterleave(s *analysis.Series) uint64 {
+	var prevMarginal float64
+	for i := 1; i < s.Len(); i++ {
+		dx := s.X[i] - s.X[i-1]
+		if dx <= 0 {
+			continue
+		}
+		marginal := (s.Y[i] - s.Y[i-1]) / dx
+		if prevMarginal > 0 && marginal < 0.78*prevMarginal {
+			return uint64(s.X[i-1])
+		}
+		prevMarginal = marginal
+	}
+	return 0
+}
+
+// PerfReport is the performance prober's output.
+type PerfReport struct {
+	LoadGBs    float64
+	StoreGBs   float64
+	StoreNTGBs float64
+	// TierLatenciesNs are the read latencies of each detected buffer tier.
+	TierLatenciesNs []float64
+}
+
+// PerfProber measures device bandwidth and per-tier latency, given the
+// buffer report (it reads each buffer's region sizes).
+func PerfProber(mk MakeSystem, buffers BufferReport, opt Options) PerfReport {
+	var rep PerfReport
+	total := uint64(16 << 20)
+	rep.LoadGBs = StrideBandwidth(mk, 64, total, mem.OpRead, opt)
+	rep.StoreGBs = StrideBandwidth(mk, 64, total, mem.OpWrite, opt)
+	rep.StoreNTGBs = StrideBandwidth(mk, 64, total, mem.OpWriteNT, opt)
+	for _, capBytes := range buffers.ReadBufferBytes {
+		rep.TierLatenciesNs = append(rep.TierLatenciesNs,
+			PtrChase(mk, capBytes/2, 64, mem.OpRead, opt))
+	}
+	// Beyond the last buffer: media tier.
+	if n := len(buffers.ReadBufferBytes); n > 0 {
+		rep.TierLatenciesNs = append(rep.TierLatenciesNs,
+			PtrChase(mk, buffers.ReadBufferBytes[n-1]*4, 64, mem.OpRead, opt))
+	}
+	return rep
+}
+
+// Characterization is the full LENS output (the Figure 4 parameter set).
+type Characterization struct {
+	Buffers BufferReport
+	Policy  PolicyReport
+	Perf    PerfReport
+}
+
+// Characterize runs all three probers.
+func Characterize(mk MakeSystem, bufCfg BufferProberConfig, polCfg PolicyProberConfig) Characterization {
+	buffers := BufferProber(mk, bufCfg)
+	policy := PolicyProber(mk, polCfg)
+	perf := PerfProber(mk, buffers, bufCfg.Options)
+	return Characterization{Buffers: buffers, Policy: policy, Perf: perf}
+}
+
+// Report renders the characterization like the paper's Figure 4 annotation.
+func (c Characterization) Report() string {
+	var b strings.Builder
+	b.WriteString("LENS characterization report\n")
+	b.WriteString("============================\n")
+	fmt.Fprintf(&b, "Read buffers (capacity / granularity):\n")
+	for i, cap := range c.Buffers.ReadBufferBytes {
+		g := uint64(0)
+		if i < len(c.Buffers.ReadGranularity) {
+			g = c.Buffers.ReadGranularity[i]
+		}
+		fmt.Fprintf(&b, "  L%d: %s, %s entries\n", i+1, mem.Bytes(cap), mem.Bytes(g))
+	}
+	fmt.Fprintf(&b, "Write queues: ")
+	for i, cap := range c.Buffers.WriteBufferBytes {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s", mem.Bytes(cap))
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "Hierarchy: inclusive=%v\n", c.Buffers.InclusiveHierarchy)
+	fmt.Fprintf(&b, "Wear-leveling: interval=%.0f iters, migration=%.1fus, block=%s\n",
+		c.Policy.MigrationIntervalIters, c.Policy.MigrationLatencyNs/1000,
+		mem.Bytes(c.Policy.MigrationBlockBytes))
+	if c.Policy.InterleaveBytes > 0 {
+		fmt.Fprintf(&b, "Interleaving: %s granularity\n", mem.Bytes(c.Policy.InterleaveBytes))
+	} else {
+		b.WriteString("Interleaving: none detected\n")
+	}
+	fmt.Fprintf(&b, "Bandwidth: load=%.2f GB/s store=%.2f GB/s store-nt=%.2f GB/s\n",
+		c.Perf.LoadGBs, c.Perf.StoreGBs, c.Perf.StoreNTGBs)
+	fmt.Fprintf(&b, "Tier read latencies (ns):")
+	for _, l := range c.Perf.TierLatenciesNs {
+		fmt.Fprintf(&b, " %.0f", l)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

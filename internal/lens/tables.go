@@ -1,0 +1,38 @@
+package lens
+
+import "repro/internal/analysis"
+
+// CapabilityMatrix reproduces Table I: what each profiling tool can analyze.
+// LENS is the only tool covering on-DIMM buffer structure, data-migration
+// policy, and internal performance.
+func CapabilityMatrix() *analysis.Table {
+	t := &analysis.Table{
+		Title: "Table I: comparison of profiling tools",
+		Columns: []string{"Tool", "Latency", "Bandwidth", "AddrMapping",
+			"BufSize", "BufGranularity", "BufHierarchy", "MigFrequency",
+			"MigGranularity", "LongTailLat"},
+	}
+	t.AddRow("MLC", "yes", "yes", "no", "no", "no", "no", "no", "no", "no")
+	t.AddRow("perf", "yes", "yes", "no", "no", "no", "no", "no", "no", "no")
+	t.AddRow("DRAMA", "yes", "partial", "yes", "no", "no", "no", "no", "no", "no")
+	t.AddRow("LENS", "yes", "yes", "yes", "yes", "yes", "yes", "yes", "yes", "yes")
+	return t
+}
+
+// Overview reproduces Table II: prober -> microbenchmark -> hardware
+// behavior -> microarchitecture property.
+func Overview() *analysis.Table {
+	t := &analysis.Table{
+		Title:   "Table II: LENS overview",
+		Columns: []string{"Prober", "Microbenchmark", "HardwareBehavior", "Microarchitecture"},
+	}
+	t.AddRow("Buffer", "PtrChasing (64B block)", "Buffer overflow", "Buffer size")
+	t.AddRow("Buffer", "PtrChasing (various block)", "R/W amplification", "Buffer entry size")
+	t.AddRow("Buffer", "Read-after-write", "Data fast-forwarding", "Buffer hierarchy")
+	t.AddRow("Policy", "Sequential/Strided write", "Interleaving speedup", "Interleaving scheme")
+	t.AddRow("Policy", "Overwrite (256B region)", "Data migration", "Migration latency")
+	t.AddRow("Policy", "Overwrite (various region)", "Data migration", "Migration block size")
+	t.AddRow("Perf", "Strided write", "Stable amplification", "Internal bandwidth")
+	t.AddRow("Perf", "(derived)", "(derived)", "Internal latency")
+	return t
+}

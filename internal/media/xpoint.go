@@ -1,0 +1,306 @@
+// Package media models the 3D-XPoint storage media inside an Optane DIMM:
+// 256-byte access granularity, asymmetric read/write latency, banked
+// partitions with per-partition serialization, per-64KB-block wear counters
+// (consumed by the wear-leveler), and an optional sparse functional data
+// store for end-to-end correctness tests.
+package media
+
+import (
+	"repro/internal/dram"
+	"repro/internal/sim"
+)
+
+// Config parameterizes the media model. Zero fields take defaults from
+// DefaultConfig.
+type Config struct {
+	// BlockSize is the media access granularity in bytes (Optane: 256).
+	BlockSize uint64
+	// Partitions is the number of independently serialized media banks.
+	Partitions int
+	// ReadNs / WriteNs are the per-block service latencies.
+	ReadNs  float64
+	WriteNs float64
+	// ReadPorts / WritePorts bound concurrent accesses of each kind across
+	// the whole device (the controller-to-media channel width). Together
+	// with the latencies these set the sustainable internal bandwidth:
+	// 1 write port x 256B / 480ns ~ 0.53 GB/s, matching the sequential
+	// write rate of Figure 7a's single-DIMM curve; 6 read ports x 256B /
+	// 160ns ~ 9.6 GB/s of internal read bandwidth for 4KB AIT line fills.
+	// Background (fill) reads are confined to the upper half of the read
+	// ports so speculation never starves demand reads.
+	ReadPorts  int
+	WritePorts int
+	// WearBlock is the wear-leveling tracking granularity (Optane: 64KB).
+	WearBlock uint64
+	// WearDecayCycles, when > 0, halves each wear counter every
+	// WearDecayCycles of simulated time (lazily applied). This leaky-bucket
+	// behavior is what makes wear-leveling rate-sensitive: writes spread
+	// over two or more wear blocks accrue too slowly to trigger migration,
+	// reproducing the tail-frequency drop at 64KB regions (Figure 7c).
+	WearDecayCycles uint64
+	// Capacity is the media size in bytes.
+	Capacity uint64
+	// Functional enables the sparse data store (timing unchanged).
+	Functional bool
+}
+
+// DefaultConfig returns Optane-like media parameters for a 4GB device (the
+// capacity the paper validates VANS at; Figure 10a shows capacity does not
+// affect the latency curves).
+func DefaultConfig() Config {
+	return Config{
+		BlockSize:  256,
+		Partitions: 16,
+		ReadNs:     160,
+		WriteNs:    480,
+		ReadPorts:  6,
+		WritePorts: 2,
+		WearBlock:  64 << 10,
+		Capacity:   4 << 30,
+	}
+}
+
+// Stats counts media activity.
+type Stats struct {
+	Reads      uint64 // block reads
+	Writes     uint64 // block writes
+	BytesRead  uint64
+	BytesWrite uint64
+}
+
+// XPoint is the media timing and wear model.
+type XPoint struct {
+	eng *sim.Engine
+	cfg Config
+
+	readCycles  sim.Cycle
+	writeCycles sim.Cycle
+
+	// partFree[i] is the earliest cycle partition i can begin a new access.
+	partFree []sim.Cycle
+	// readFree / writeFree are the per-port next-free cycles of the
+	// controller-to-media channels.
+	readFree  []sim.Cycle
+	writeFree []sim.Cycle
+
+	// wear counts writes per wear block since the last ResetWear; wearAt
+	// records the cycle of the last decay application per block.
+	wear   map[uint64]uint64
+	wearAt map[uint64]sim.Cycle
+
+	// data holds functional contents, keyed by block-aligned address.
+	data map[uint64][]byte
+
+	stats Stats
+}
+
+// New returns a media model on eng.
+func New(eng *sim.Engine, cfg Config) *XPoint {
+	def := DefaultConfig()
+	if cfg.BlockSize == 0 {
+		cfg.BlockSize = def.BlockSize
+	}
+	if cfg.Partitions == 0 {
+		cfg.Partitions = def.Partitions
+	}
+	if cfg.ReadNs == 0 {
+		cfg.ReadNs = def.ReadNs
+	}
+	if cfg.WriteNs == 0 {
+		cfg.WriteNs = def.WriteNs
+	}
+	if cfg.ReadPorts == 0 {
+		cfg.ReadPorts = def.ReadPorts
+	}
+	if cfg.WritePorts == 0 {
+		cfg.WritePorts = def.WritePorts
+	}
+	if cfg.WearBlock == 0 {
+		cfg.WearBlock = def.WearBlock
+	}
+	if cfg.Capacity == 0 {
+		cfg.Capacity = def.Capacity
+	}
+	return &XPoint{
+		eng:         eng,
+		cfg:         cfg,
+		readCycles:  dram.NsToCycles(cfg.ReadNs),
+		writeCycles: dram.NsToCycles(cfg.WriteNs),
+		partFree:    make([]sim.Cycle, cfg.Partitions),
+		readFree:    make([]sim.Cycle, cfg.ReadPorts),
+		writeFree:   make([]sim.Cycle, cfg.WritePorts),
+		wear:        make(map[uint64]uint64),
+		wearAt:      make(map[uint64]sim.Cycle),
+		data:        make(map[uint64][]byte),
+	}
+}
+
+// Config returns the effective configuration.
+func (x *XPoint) Config() Config { return x.cfg }
+
+// Stats returns a copy of the counters.
+func (x *XPoint) Stats() Stats { return x.stats }
+
+// partition maps a media address to its bank.
+func (x *XPoint) partition(addr uint64) int {
+	return int((addr / x.cfg.BlockSize) % uint64(x.cfg.Partitions))
+}
+
+// Access times one demand block access at addr (media address). done, if
+// non-nil, fires when the access completes; the return value is the
+// completion cycle. Writes bump the wear counter of the containing block.
+func (x *XPoint) Access(addr uint64, write bool, done func()) sim.Cycle {
+	return x.access(addr, write, false, done)
+}
+
+// AccessBG times one background (speculative fill) access. Background reads
+// are restricted to the last read port so they can never starve demand
+// reads.
+func (x *XPoint) AccessBG(addr uint64, write bool, done func()) sim.Cycle {
+	return x.access(addr, write, true, done)
+}
+
+func (x *XPoint) access(addr uint64, write, background bool, done func()) sim.Cycle {
+	addr = addr % x.cfg.Capacity
+	p := x.partition(addr)
+	start := x.eng.Now()
+	if x.partFree[p] > start {
+		start = x.partFree[p]
+	}
+	// Claim the earliest-free port of the access class; background reads
+	// may only use the last port.
+	ports := x.readFree
+	if write {
+		ports = x.writeFree
+	}
+	lo := 0
+	if background && !write && len(ports) > 1 {
+		lo = len(ports) / 2
+	}
+	pi := lo
+	for i := lo; i < len(ports); i++ {
+		if ports[i] < ports[pi] {
+			pi = i
+		}
+	}
+	if ports[pi] > start {
+		start = ports[pi]
+	}
+	svc := x.readCycles
+	if write {
+		svc = x.writeCycles
+		blk := x.wearBlock(addr)
+		x.wear[blk] = x.decayedWear(blk) + 1
+		x.wearAt[blk] = x.eng.Now()
+		x.stats.Writes++
+		x.stats.BytesWrite += x.cfg.BlockSize
+	} else {
+		x.stats.Reads++
+		x.stats.BytesRead += x.cfg.BlockSize
+	}
+	end := start + svc
+	// Background fills consume port bandwidth but do not reserve the
+	// partition: a later demand access to the same partition is served by
+	// another plane rather than queuing behind speculation.
+	if !background {
+		x.partFree[p] = end
+	}
+	ports[pi] = end
+	if done != nil {
+		x.eng.Schedule(end, done)
+	}
+	return end
+}
+
+// wearBlock returns the wear-block base address containing addr.
+func (x *XPoint) wearBlock(addr uint64) uint64 {
+	return addr - addr%x.cfg.WearBlock
+}
+
+// decayedWear returns blk's counter after applying any pending exponential
+// decay (one halving per elapsed WearDecayCycles window).
+func (x *XPoint) decayedWear(blk uint64) uint64 {
+	c := x.wear[blk]
+	if c == 0 || x.cfg.WearDecayCycles == 0 {
+		return c
+	}
+	elapsed := x.eng.Now() - x.wearAt[blk]
+	halvings := uint64(elapsed) / x.cfg.WearDecayCycles
+	if halvings >= 64 {
+		return 0
+	}
+	return c >> halvings
+}
+
+// WearCount returns the write count of the wear block containing addr since
+// its last reset, after decay.
+func (x *XPoint) WearCount(addr uint64) uint64 {
+	return x.decayedWear(x.wearBlock(addr % x.cfg.Capacity))
+}
+
+// ResetWear clears the wear counter of the block containing addr (called by
+// the wear-leveler after migrating the block).
+func (x *XPoint) ResetWear(addr uint64) {
+	blk := x.wearBlock(addr % x.cfg.Capacity)
+	delete(x.wear, blk)
+	delete(x.wearAt, blk)
+}
+
+// TotalWear sums all wear counters (test/diagnostic aid).
+func (x *XPoint) TotalWear() uint64 {
+	var sum uint64
+	for _, w := range x.wear {
+		sum += w
+	}
+	return sum
+}
+
+// WriteData stores bytes at addr in the functional store. It is a no-op
+// unless Functional is enabled.
+func (x *XPoint) WriteData(addr uint64, data []byte) {
+	if !x.cfg.Functional {
+		return
+	}
+	for i, b := range data {
+		a := (addr + uint64(i)) % x.cfg.Capacity
+		blk := a - a%x.cfg.BlockSize
+		buf, ok := x.data[blk]
+		if !ok {
+			buf = make([]byte, x.cfg.BlockSize)
+			x.data[blk] = buf
+		}
+		buf[a-blk] = b
+	}
+}
+
+// ReadData returns n bytes at addr from the functional store (zeroes for
+// never-written locations). It returns nil unless Functional is enabled.
+func (x *XPoint) ReadData(addr uint64, n int) []byte {
+	if !x.cfg.Functional {
+		return nil
+	}
+	out := make([]byte, n)
+	for i := range out {
+		a := (addr + uint64(i)) % x.cfg.Capacity
+		blk := a - a%x.cfg.BlockSize
+		if buf, ok := x.data[blk]; ok {
+			out[i] = buf[a-blk]
+		}
+	}
+	return out
+}
+
+// CopyBlock moves one media block's functional contents from src to dst
+// (block-aligned); used by wear-leveling migration.
+func (x *XPoint) CopyBlock(src, dst uint64) {
+	if !x.cfg.Functional {
+		return
+	}
+	if buf, ok := x.data[src%x.cfg.Capacity]; ok {
+		dstBuf := make([]byte, len(buf))
+		copy(dstBuf, buf)
+		x.data[dst%x.cfg.Capacity] = dstBuf
+	} else {
+		delete(x.data, dst%x.cfg.Capacity)
+	}
+}

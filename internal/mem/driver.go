@@ -1,0 +1,127 @@
+package mem
+
+import (
+	"repro/internal/sim"
+)
+
+// Driver issues request streams into a System and collects completion
+// latencies. It implements the two access disciplines the LENS
+// microbenchmarks need: a dependent chain (each access starts only after the
+// previous completes — pointer chasing) and a windowed stream (up to W
+// outstanding — bandwidth tests).
+type Driver struct {
+	sys    System
+	nextID uint64
+}
+
+// NewDriver returns a driver bound to sys.
+func NewDriver(sys System) *Driver { return &Driver{sys: sys} }
+
+// Access is one element of a driver stream.
+type Access struct {
+	Op   Op
+	Addr uint64
+	Size uint32
+}
+
+// submitBlocking offers r until accepted, advancing the engine to drain
+// backpressure. It panics if the system can make no progress, which would
+// indicate a deadlocked model (a bug we want loudly).
+func (d *Driver) submitBlocking(r *Request) {
+	eng := d.sys.Engine()
+	for !d.sys.Submit(r) {
+		if eng.Pending() == 0 {
+			panic("mem: system refused request with no pending events (model deadlock)")
+		}
+		fired := eng.Fired()
+		eng.RunWhile(func() bool { return eng.Fired() == fired })
+	}
+}
+
+// RunChain issues accesses strictly one at a time: access i+1 is submitted
+// only once access i completed. It returns the per-access latency in cycles.
+// This is the timing discipline of a pointer-chasing load loop, where the
+// next address depends on the loaded value.
+func (d *Driver) RunChain(accs []Access) []sim.Cycle {
+	eng := d.sys.Engine()
+	lats := make([]sim.Cycle, 0, len(accs))
+	for _, a := range accs {
+		d.nextID++
+		done := false
+		r := &Request{ID: d.nextID, Op: a.Op, Addr: a.Addr, Size: a.Size,
+			OnDone: func(r *Request) { done = true }}
+		d.submitBlocking(r)
+		eng.RunWhile(func() bool { return !done })
+		if !done {
+			panic("mem: request never completed (model deadlock)")
+		}
+		lats = append(lats, r.Latency())
+	}
+	return lats
+}
+
+// ChainResult summarizes a RunChain run in wall-clock terms.
+type ChainResult struct {
+	Latencies []sim.Cycle
+	// TotalCycles is the span from first submit to last completion.
+	TotalCycles sim.Cycle
+}
+
+// RunChainTimed is RunChain plus the total elapsed cycles.
+func (d *Driver) RunChainTimed(accs []Access) ChainResult {
+	start := d.sys.Engine().Now()
+	lats := d.RunChain(accs)
+	return ChainResult{Latencies: lats, TotalCycles: d.sys.Engine().Now() - start}
+}
+
+// RunWindow issues accesses keeping up to window requests outstanding, the
+// discipline of a store/streaming loop limited by CPU memory-level
+// parallelism. It returns the total cycles from first submit until the last
+// completion (all requests drained).
+func (d *Driver) RunWindow(accs []Access, window int) sim.Cycle {
+	if window < 1 {
+		window = 1
+	}
+	eng := d.sys.Engine()
+	start := eng.Now()
+	inflight := 0
+	for _, a := range accs {
+		for inflight >= window {
+			fired := eng.Fired()
+			eng.RunWhile(func() bool { return eng.Fired() == fired && inflight >= window })
+			if inflight >= window && eng.Pending() == 0 {
+				panic("mem: window stalled with no pending events (model deadlock)")
+			}
+		}
+		d.nextID++
+		r := &Request{ID: d.nextID, Op: a.Op, Addr: a.Addr, Size: a.Size,
+			OnDone: func(*Request) { inflight-- }}
+		d.submitBlocking(r)
+		inflight++
+	}
+	for inflight > 0 {
+		if eng.Pending() == 0 {
+			panic("mem: drain stalled with no pending events (model deadlock)")
+		}
+		fired := eng.Fired()
+		eng.RunWhile(func() bool { return eng.Fired() == fired })
+	}
+	return eng.Now() - start
+}
+
+// Fence submits an OpFence and runs until it completes, guaranteeing all
+// previously submitted stores are durable.
+func (d *Driver) Fence() sim.Cycle {
+	lats := d.RunChain([]Access{{Op: OpFence}})
+	return lats[0]
+}
+
+// BandwidthGBs converts (bytes moved, elapsed cycles) into GB/s given the
+// system clock.
+func BandwidthGBs(sys System, bytes uint64, elapsed sim.Cycle) float64 {
+	if elapsed == 0 {
+		return 0
+	}
+	ns := ToNs(sys, elapsed)
+	return float64(bytes) / ns // bytes/ns == GB/s
+}

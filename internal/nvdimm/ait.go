@@ -1,0 +1,241 @@
+package nvdimm
+
+// Translator is the AIT translation table state: a bijective mapping from
+// CPU-visible 4KB pages to media 4KB frames. It starts as the identity and
+// is permuted by wear-leveling migrations, which swap whole 64KB wear blocks
+// (16 consecutive pages) so the mapping stays a bijection by construction.
+type Translator struct {
+	pageSize uint64
+	capacity uint64 // media capacity in bytes
+	fwd      map[uint64]uint64
+	rev      map[uint64]uint64
+}
+
+// NewTranslator returns an identity translator over capacity bytes with the
+// given page size.
+func NewTranslator(pageSize, capacity uint64) *Translator {
+	return &Translator{
+		pageSize: pageSize,
+		capacity: capacity,
+		fwd:      make(map[uint64]uint64),
+		rev:      make(map[uint64]uint64),
+	}
+}
+
+// pages returns the number of pages on the media.
+func (t *Translator) pages() uint64 { return t.capacity / t.pageSize }
+
+// Translate maps a CPU page number to its media frame number.
+func (t *Translator) Translate(page uint64) uint64 {
+	page %= t.pages()
+	if f, ok := t.fwd[page]; ok {
+		return f
+	}
+	return page
+}
+
+// Reverse maps a media frame number back to its CPU page number.
+func (t *Translator) Reverse(frame uint64) uint64 {
+	frame %= t.pages()
+	if p, ok := t.rev[frame]; ok {
+		return p
+	}
+	return frame
+}
+
+// ToMedia converts a CPU byte address to a media byte address.
+func (t *Translator) ToMedia(addr uint64) uint64 {
+	page := addr / t.pageSize
+	return t.Translate(page)*t.pageSize + addr%t.pageSize
+}
+
+// SwapPages exchanges the frames of two CPU pages, preserving bijectivity.
+func (t *Translator) SwapPages(pa, pb uint64) {
+	n := t.pages()
+	pa, pb = pa%n, pb%n
+	fa, fb := t.Translate(pa), t.Translate(pb)
+	t.set(pa, fb)
+	t.set(pb, fa)
+}
+
+func (t *Translator) set(page, frame uint64) {
+	if page == frame {
+		delete(t.fwd, page)
+		delete(t.rev, frame)
+		return
+	}
+	t.fwd[page] = frame
+	t.rev[frame] = page
+}
+
+// aitLine is one 4KB line of the AIT data buffer with per-256B sector state.
+type aitLine struct {
+	page    uint64 // CPU page number
+	valid   uint16 // sector presence bits
+	dirty   uint16 // sector modified bits (write-back mode only)
+	lastUse uint64
+	present bool
+}
+
+// AITBuffer is the 16MB DRAM-resident data buffer of the AIT: set
+// associative with 4KB lines divided into 256B sectors (the DIMM-internal
+// access granularity), so a line can be partially present after
+// critical-sector-first fills.
+type AITBuffer struct {
+	sets    [][]aitLine
+	ways    int
+	sectors int
+	tick    uint64
+
+	hits       uint64
+	misses     uint64
+	sectorMiss uint64 // line present but sector invalid
+}
+
+// NewAITBuffer returns a buffer of entries lines (entries/ways sets) with
+// lineSize/sectorSize sectors per line.
+func NewAITBuffer(entries, ways int, lineSize, sectorSize uint64) *AITBuffer {
+	if ways <= 0 {
+		ways = 16
+	}
+	numSets := entries / ways
+	if numSets == 0 {
+		numSets = 1
+	}
+	sets := make([][]aitLine, numSets)
+	for i := range sets {
+		sets[i] = make([]aitLine, ways)
+	}
+	return &AITBuffer{sets: sets, ways: ways, sectors: int(lineSize / sectorSize)}
+}
+
+// Hits / Misses / SectorMisses expose lookup statistics.
+func (b *AITBuffer) Hits() uint64         { return b.hits }
+func (b *AITBuffer) Misses() uint64       { return b.misses }
+func (b *AITBuffer) SectorMisses() uint64 { return b.sectorMiss }
+
+func (b *AITBuffer) set(page uint64) []aitLine {
+	return b.sets[page%uint64(len(b.sets))]
+}
+
+// find returns the way index holding page, or -1.
+func (b *AITBuffer) find(page uint64) int {
+	set := b.set(page)
+	for i := range set {
+		if set[i].present && set[i].page == page {
+			return i
+		}
+	}
+	return -1
+}
+
+// LookupSector probes for the given sector of page. It returns:
+// lineHit (the 4KB line is resident), sectorHit (that 256B sector is valid).
+// LRU and statistics are updated.
+func (b *AITBuffer) LookupSector(page uint64, sector int) (lineHit, sectorHit bool) {
+	i := b.find(page)
+	if i < 0 {
+		b.misses++
+		return false, false
+	}
+	set := b.set(page)
+	b.tick++
+	set[i].lastUse = b.tick
+	if set[i].valid&(1<<sector) == 0 {
+		b.sectorMiss++
+		return true, false
+	}
+	b.hits++
+	return true, true
+}
+
+// AITEvicted describes a line displaced by Allocate.
+type AITEvicted struct {
+	Page        uint64
+	DirtySector uint16
+}
+
+// Allocate installs a line for page (invalid sectors) and returns the
+// displaced line if one was evicted. Allocating a resident page is a no-op.
+func (b *AITBuffer) Allocate(page uint64) (ev AITEvicted, evicted bool) {
+	if b.find(page) >= 0 {
+		return AITEvicted{}, false
+	}
+	set := b.set(page)
+	victim := 0
+	for i := range set {
+		if !set[i].present {
+			victim = i
+			goto install
+		}
+		if set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	if set[victim].present {
+		ev = AITEvicted{Page: set[victim].page, DirtySector: set[victim].dirty}
+		evicted = ev.DirtySector != 0
+	}
+install:
+	b.tick++
+	set[victim] = aitLine{page: page, lastUse: b.tick, present: true}
+	return ev, evicted
+}
+
+// FillSector marks one sector of a resident page valid (after a media read).
+func (b *AITBuffer) FillSector(page uint64, sector int) {
+	if i := b.find(page); i >= 0 {
+		b.set(page)[i].valid |= 1 << sector
+	}
+}
+
+// WriteSector marks a sector valid and, in write-back mode, dirty.
+func (b *AITBuffer) WriteSector(page uint64, sector int, writeBack bool) {
+	if i := b.find(page); i >= 0 {
+		set := b.set(page)
+		set[i].valid |= 1 << sector
+		if writeBack {
+			set[i].dirty |= 1 << sector
+		}
+	}
+}
+
+// CleanLine clears all dirty bits of a resident page.
+func (b *AITBuffer) CleanLine(page uint64) {
+	if i := b.find(page); i >= 0 {
+		b.set(page)[i].dirty = 0
+	}
+}
+
+// MissingSectors returns the invalid sector indices of a resident page
+// (empty when the page is absent).
+func (b *AITBuffer) MissingSectors(page uint64) []int {
+	i := b.find(page)
+	if i < 0 {
+		return nil
+	}
+	valid := b.set(page)[i].valid
+	var out []int
+	for s := 0; s < b.sectors; s++ {
+		if valid&(1<<s) == 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// DirtyPages returns pages with any dirty sector and their dirty masks.
+func (b *AITBuffer) DirtyPages() map[uint64]uint16 {
+	out := make(map[uint64]uint16)
+	for _, set := range b.sets {
+		for i := range set {
+			if set[i].present && set[i].dirty != 0 {
+				out[set[i].page] = set[i].dirty
+			}
+		}
+	}
+	return out
+}
+
+// Resident reports whether page is in the buffer (no LRU/stat side effects).
+func (b *AITBuffer) Resident(page uint64) bool { return b.find(page) >= 0 }

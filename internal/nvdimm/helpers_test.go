@@ -1,0 +1,10 @@
+package nvdimm
+
+import "repro/internal/dram"
+
+// dimNewCheckerForTest builds a DDR4 checker matching a DIMM config's
+// on-DIMM DRAM settings.
+func dimNewCheckerForTest(cfg Config) *dram.Checker {
+	c := cfg.withDefaults()
+	return dram.NewChecker(c.DRAM.Timing, c.DRAM.Geometry)
+}

@@ -1,0 +1,169 @@
+package nvdimm
+
+import (
+	"repro/internal/sim"
+)
+
+// lsqSlot is one 64B entry of the on-DIMM load-store queue.
+type lsqSlot struct {
+	line uint64 // 64B-aligned address
+	enq  sim.Cycle
+}
+
+// LSQ is the on-DIMM load-store queue. It holds 64B store entries, merges
+// repeated stores to the same line in place, and drains entries grouped by
+// combine block (256B) so that downstream sees combined read-modify-write
+// operations — the write-combining behavior the paper attributes to the LSQ.
+type LSQ struct {
+	slots    map[uint64]int // line -> index into order
+	order    []lsqSlot      // FIFO by enqueue; holes marked line==tombstone
+	live     int
+	maxSlots int
+	combine  uint64
+
+	merges  uint64
+	accepts uint64
+}
+
+const lsqTombstone = ^uint64(0)
+
+// NewLSQ returns an LSQ with maxSlots 64B entries combining at combine-byte
+// blocks.
+func NewLSQ(maxSlots int, combine uint64) *LSQ {
+	return &LSQ{
+		slots:    make(map[uint64]int, maxSlots),
+		maxSlots: maxSlots,
+		combine:  combine,
+	}
+}
+
+// Len returns the live entry count.
+func (q *LSQ) Len() int { return q.live }
+
+// Full reports whether no new distinct line can be accepted.
+func (q *LSQ) Full() bool { return q.live >= q.maxSlots }
+
+// Empty reports whether the queue holds no entries.
+func (q *LSQ) Empty() bool { return q.live == 0 }
+
+// Merges returns how many accepts merged into an existing slot.
+func (q *LSQ) Merges() uint64 { return q.merges }
+
+// Contains reports whether a store to the 64B line at addr is pending
+// (used for read forwarding — the data fast-forward effect LENS measures).
+func (q *LSQ) Contains(line uint64) bool {
+	_, ok := q.slots[line]
+	return ok
+}
+
+// ContainsBlock reports whether any pending store falls in the combine block
+// containing addr.
+func (q *LSQ) ContainsBlock(block uint64) bool {
+	// The slot map is keyed by 64B line; scan the lines of the block.
+	for l := block; l < block+q.combine; l += 64 {
+		if _, ok := q.slots[l]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Accept enqueues a 64B store to line at time now. It reports
+// (merged, accepted): merged means an existing slot was overwritten in
+// place; accepted==false means the queue is full and the caller must retry.
+func (q *LSQ) Accept(line uint64, now sim.Cycle) (merged, accepted bool) {
+	if i, ok := q.slots[line]; ok {
+		q.order[i].enq = now
+		q.merges++
+		return true, true
+	}
+	if q.Full() {
+		return false, false
+	}
+	q.slots[line] = len(q.order)
+	q.order = append(q.order, lsqSlot{line: line, enq: now})
+	q.live++
+	q.accepts++
+	q.compact()
+	return false, true
+}
+
+// compact trims leading tombstones and rebuilds when the hole ratio grows,
+// keeping drain scans O(live).
+func (q *LSQ) compact() {
+	if len(q.order) < 2*q.live+8 {
+		return
+	}
+	fresh := make([]lsqSlot, 0, q.live)
+	for _, s := range q.order {
+		if s.line != lsqTombstone {
+			q.slots[s.line] = len(fresh)
+			fresh = append(fresh, s)
+		}
+	}
+	q.order = fresh
+}
+
+// OldestAge returns now minus the enqueue time of the oldest live entry
+// (0 when empty).
+func (q *LSQ) OldestAge(now sim.Cycle) sim.Cycle {
+	for _, s := range q.order {
+		if s.line != lsqTombstone {
+			if now < s.enq {
+				return 0
+			}
+			return now - s.enq
+		}
+	}
+	return 0
+}
+
+// Group is one drained write-combining group: a combine-block-aligned
+// address plus the mask of 64B sub-lines present (bit i = line at
+// Block + 64*i).
+type Group struct {
+	Block uint64
+	Mask  uint16
+}
+
+// Lines returns the count of 64B lines in the group.
+func (g Group) Lines() int {
+	n := 0
+	for m := g.Mask; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+// Complete reports whether the group covers the whole combine block of size
+// blockBytes.
+func (g Group) Complete(blockBytes uint64) bool {
+	full := uint16(1)<<(blockBytes/64) - 1
+	return g.Mask == full
+}
+
+// PopGroup removes and returns the oldest entry together with every other
+// entry in its combine block. ok is false when empty.
+func (q *LSQ) PopGroup() (Group, bool) {
+	var oldest *lsqSlot
+	for i := range q.order {
+		if q.order[i].line != lsqTombstone {
+			oldest = &q.order[i]
+			break
+		}
+	}
+	if oldest == nil {
+		return Group{}, false
+	}
+	block := oldest.line - oldest.line%q.combine
+	g := Group{Block: block}
+	for l := block; l < block+q.combine; l += 64 {
+		if i, ok := q.slots[l]; ok {
+			g.Mask |= 1 << ((l - block) / 64)
+			q.order[i].line = lsqTombstone
+			delete(q.slots, l)
+			q.live--
+		}
+	}
+	return g, true
+}

@@ -1,0 +1,124 @@
+package nvdimm
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestLazyCacheAbsorbsHotWrites(t *testing.T) {
+	cfg := smallConfig()
+	cfg.WearThreshold = 1 << 60 // no migrations in this test
+	base := NewSystem(cfg, 1)
+	opt := NewSystem(cfg, 1)
+	lc := opt.D.EnableLazyCache(LazyCacheConfig{HotThreshold: 8})
+
+	hammer := func(sys *System) uint64 {
+		d := mem.NewDriver(sys)
+		for i := 0; i < 400; i++ {
+			d.RunChain([]mem.Access{{Op: mem.OpWriteNT, Addr: uint64(i%4) * 64, Size: 64}})
+			d.Fence()
+		}
+		return sys.D.Media().Stats().Writes
+	}
+	baseWrites := hammer(base)
+	optWrites := hammer(opt)
+	if optWrites >= baseWrites/2 {
+		t.Fatalf("lazy cache media writes %d not well below baseline %d", optWrites, baseWrites)
+	}
+	st := lc.Stats()
+	if st.WriteHits == 0 || st.Promotions == 0 {
+		t.Fatalf("lazy cache stats = %+v", st)
+	}
+}
+
+func TestLazyCacheServesReads(t *testing.T) {
+	cfg := smallConfig()
+	cfg.WearThreshold = 1 << 60
+	sys := NewSystem(cfg, 1)
+	lc := sys.D.EnableLazyCache(LazyCacheConfig{HotThreshold: 4})
+	d := mem.NewDriver(sys)
+	// Make block 0 hot.
+	for i := 0; i < 50; i++ {
+		d.RunChain([]mem.Access{{Op: mem.OpWriteNT, Addr: 0, Size: 64}})
+		d.Fence()
+	}
+	if lc.Stats().WriteHits == 0 {
+		t.Fatal("block never admitted")
+	}
+	// Evict it from the RMW buffer by reading far more than its capacity.
+	var accs []mem.Access
+	for i := 0; i < 2*cfg.RMWEntries; i++ {
+		accs = append(accs, mem.Access{Op: mem.OpRead, Addr: 1<<20 + uint64(i)*256, Size: 64})
+	}
+	d.RunChain(accs)
+	fast := d.RunChain([]mem.Access{{Op: mem.OpRead, Addr: 0, Size: 64}})[0]
+	slow := d.RunChain([]mem.Access{{Op: mem.OpRead, Addr: 2 << 20, Size: 64}})[0]
+	if fast >= slow {
+		t.Fatalf("lazy-cached read (%d) not faster than cold read (%d)", fast, slow)
+	}
+	if lc.Stats().ReadHits == 0 {
+		t.Fatal("no lazy cache read hits")
+	}
+}
+
+func TestLazyCacheReducesMigrations(t *testing.T) {
+	run := func(enable bool) uint64 {
+		cfg := smallConfig()
+		cfg.WearThreshold = 30
+		sys := NewSystem(cfg, 1)
+		if enable {
+			sys.D.EnableLazyCache(LazyCacheConfig{HotThreshold: 8})
+		}
+		d := mem.NewDriver(sys)
+		for i := 0; i < 200; i++ {
+			d.RunChain([]mem.Access{{Op: mem.OpWriteNT, Addr: 4096, Size: 64}})
+			d.Fence()
+		}
+		return sys.D.Stats().Migrations
+	}
+	base := run(false)
+	opt := run(true)
+	if base == 0 {
+		t.Fatal("baseline has no migrations")
+	}
+	if opt >= base {
+		t.Fatalf("lazy cache migrations %d not below baseline %d", opt, base)
+	}
+}
+
+func TestPreTransTable(t *testing.T) {
+	p := NewPreTransTable(PreTransConfig{TableBytes: 32, EntryBytes: 8})
+	if _, ok := p.Lookup(0); ok {
+		t.Fatal("cold hit")
+	}
+	p.Update(0, 5)
+	if pfn, ok := p.Lookup(0); !ok || pfn != 5 {
+		t.Fatalf("lookup = %d,%v", pfn, ok)
+	}
+	// Stale update.
+	p.Update(0, 6)
+	if p.Stats().Stale != 1 {
+		t.Fatalf("stale = %d", p.Stats().Stale)
+	}
+	// FIFO eviction at capacity 4.
+	for i := uint64(1); i <= 4; i++ {
+		p.Update(i*64, i)
+	}
+	if _, ok := p.Lookup(0); ok {
+		t.Fatal("capacity eviction failed")
+	}
+	if p.ExtraLatency() == 0 {
+		t.Fatal("zero extra latency")
+	}
+}
+
+func TestDefaultLazyCacheConfigMatchesPaper(t *testing.T) {
+	c := DefaultLazyCacheConfig()
+	if c.LZ1Bytes != 1<<10 || c.LZ2Bytes != 2<<10 {
+		t.Fatalf("lazy cache sizes = %d/%d, want 1KB/2KB", c.LZ1Bytes, c.LZ2Bytes)
+	}
+	if c.LZ1Block != 64 || c.LZ2Block != 128 {
+		t.Fatalf("lazy cache blocks = %d/%d, want 64/128", c.LZ1Block, c.LZ2Block)
+	}
+}

@@ -1,0 +1,117 @@
+package nvdimm
+
+import (
+	"repro/internal/dram"
+	"repro/internal/sim"
+)
+
+// PreTransConfig parameterizes the Pre-translation optimization (§V-B): a
+// pre-translation table stored in the on-DIMM DRAM as an extension of each
+// AIT entry (mapping a physical address to the page frame number the data at
+// that address points to), so a marked pointer-chasing read returns both the
+// data and the TLB entry for the *next* access.
+type PreTransConfig struct {
+	// TableBytes bounds the pre-translation table (16MB in the paper).
+	TableBytes uint64
+	// EntryBytes is the stored record size (a pfn; 8 bytes).
+	EntryBytes uint64
+	// ExtraDRAMReads is the additional on-DIMM DRAM accesses per marked
+	// read to reach the pre-translation entry via the AIT pointer (1 in the
+	// paper: "it takes only one more DRAM access").
+	ExtraDRAMReads int
+}
+
+// DefaultPreTransConfig matches the paper's evaluation (16MB table).
+func DefaultPreTransConfig() PreTransConfig {
+	return PreTransConfig{TableBytes: 16 << 20, EntryBytes: 8, ExtraDRAMReads: 1}
+}
+
+// PreTransStats counts pre-translation activity on the DIMM side.
+type PreTransStats struct {
+	Lookups uint64
+	Hits    uint64
+	Updates uint64
+	Stale   uint64 // entries invalidated by an update with a new pfn
+}
+
+// PreTransTable is the DIMM-resident half of Pre-translation. The CPU-side
+// half (the Read Lookaside Buffer and the mkpt instruction semantics) lives
+// in internal/cpu; it calls Lookup/Update here.
+type PreTransTable struct {
+	cfg PreTransConfig
+	// entries maps physical address (page-aligned key of the pointer
+	// location) -> page frame number of the pointee.
+	entries  map[uint64]uint64
+	capacity int
+	order    []uint64 // FIFO eviction to bound the table
+	stats    PreTransStats
+}
+
+// NewPreTransTable builds the table with cfg (zero fields defaulted).
+func NewPreTransTable(cfg PreTransConfig) *PreTransTable {
+	def := DefaultPreTransConfig()
+	if cfg.TableBytes == 0 {
+		cfg.TableBytes = def.TableBytes
+	}
+	if cfg.EntryBytes == 0 {
+		cfg.EntryBytes = def.EntryBytes
+	}
+	if cfg.ExtraDRAMReads == 0 {
+		cfg.ExtraDRAMReads = def.ExtraDRAMReads
+	}
+	return &PreTransTable{
+		cfg:      cfg,
+		entries:  make(map[uint64]uint64),
+		capacity: int(cfg.TableBytes / cfg.EntryBytes),
+	}
+}
+
+// EnablePreTranslation attaches the table to a DIMM.
+func (d *DIMM) EnablePreTranslation(cfg PreTransConfig) *PreTransTable {
+	d.pretrans = NewPreTransTable(cfg)
+	return d.pretrans
+}
+
+// PreTrans returns the attached table (nil when disabled).
+func (d *DIMM) PreTrans() *PreTransTable { return d.pretrans }
+
+// Stats returns a snapshot of the counters.
+func (p *PreTransTable) Stats() PreTransStats { return p.stats }
+
+// Lookup returns the pfn recorded for paddr, if any.
+func (p *PreTransTable) Lookup(paddr uint64) (pfn uint64, ok bool) {
+	p.stats.Lookups++
+	pfn, ok = p.entries[paddr]
+	if ok {
+		p.stats.Hits++
+	}
+	return pfn, ok
+}
+
+// Update records paddr -> pfn (invoked by mkpt when the entry is missing or
+// out of date), evicting FIFO when the table is full.
+func (p *PreTransTable) Update(paddr, pfn uint64) {
+	p.stats.Updates++
+	if old, ok := p.entries[paddr]; ok {
+		if old != pfn {
+			p.stats.Stale++
+			p.entries[paddr] = pfn
+		}
+		return
+	}
+	if len(p.entries) >= p.capacity && len(p.order) > 0 {
+		delete(p.entries, p.order[0])
+		p.order = p.order[1:]
+	}
+	p.entries[paddr] = pfn
+	p.order = append(p.order, paddr)
+}
+
+// ExtraLatency returns the added on-DIMM DRAM latency a marked read pays to
+// fetch the pre-translation entry alongside the data (approximated as
+// row-hit DRAM reads; the entry is reached via a pointer in the AIT entry
+// that is already being read).
+func (p *PreTransTable) ExtraLatency() sim.Cycle {
+	t := dram.DDR42666()
+	return sim.Cycle(p.cfg.ExtraDRAMReads) * (t.TCL + t.TBurst)
+}

@@ -1,0 +1,119 @@
+// Package sim provides the discrete-event simulation substrate shared by all
+// timing models in this repository: a cycle-resolution event engine, bounded
+// queues, deterministic random number generation, and statistics collectors.
+//
+// Every architectural component (memory controller, on-DIMM buffers, DRAM
+// banks, CPU core) advances by scheduling callbacks on a single Engine, so a
+// whole-system simulation is one totally ordered sequence of cycle-stamped
+// events. Determinism is guaranteed: events at the same cycle fire in
+// scheduling order.
+package sim
+
+import "container/heap"
+
+// Cycle is a simulation timestamp in clock cycles of the simulated memory
+// subsystem. The zero value is the beginning of time.
+type Cycle uint64
+
+// Never is a sentinel cycle value meaning "not scheduled / not happening".
+const Never = Cycle(1<<63 - 1)
+
+// event is a scheduled callback. seq breaks ties so same-cycle events fire in
+// the order they were scheduled, making runs reproducible.
+type event struct {
+	at  Cycle
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event scheduler with cycle resolution.
+//
+// The zero value is ready to use. Engine is not safe for concurrent use; the
+// simulation model here is single-threaded by design (determinism first).
+type Engine struct {
+	now    Cycle
+	seq    uint64
+	events eventHeap
+	fired  uint64
+}
+
+// NewEngine returns an engine starting at cycle 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Fired returns the total number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of scheduled, not yet executed events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn at absolute cycle at. Scheduling in the past (at < Now) is
+// treated as "now": the event fires before time advances further.
+func (e *Engine) Schedule(at Cycle, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn})
+}
+
+// After runs fn delay cycles from now.
+func (e *Engine) After(delay Cycle, fn func()) { e.Schedule(e.now+delay, fn) }
+
+// step executes the earliest pending event, advancing time to it.
+// It reports false when no events remain.
+func (e *Engine) step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.step() {
+	}
+}
+
+// RunUntil executes events with timestamp <= deadline, then sets Now to
+// deadline if the simulation has not already passed it.
+func (e *Engine) RunUntil(deadline Cycle) {
+	for len(e.events) > 0 && e.events[0].at <= deadline {
+		e.step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunWhile executes events until cond reports false or no events remain.
+// cond is checked before each event.
+func (e *Engine) RunWhile(cond func() bool) {
+	for cond() && e.step() {
+	}
+}

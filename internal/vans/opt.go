@@ -1,0 +1,78 @@
+package vans
+
+import (
+	"repro/internal/nvdimm"
+	"repro/internal/sim"
+)
+
+// EnableLazyCache attaches the Lazy cache optimization to every DIMM and
+// returns the instances (for statistics).
+func (s *System) EnableLazyCache(cfg nvdimm.LazyCacheConfig) []*nvdimm.LazyCache {
+	out := make([]*nvdimm.LazyCache, 0, len(s.dimms))
+	for _, d := range s.dimms {
+		out = append(out, d.EnableLazyCache(cfg))
+	}
+	return out
+}
+
+// EnablePreTranslation attaches a pre-translation table to every DIMM and
+// returns a port the CPU model can drive (routing by physical address).
+func (s *System) EnablePreTranslation(cfg nvdimm.PreTransConfig) *PreTransRouter {
+	for _, d := range s.dimms {
+		d.EnablePreTranslation(cfg)
+	}
+	return &PreTransRouter{sys: s}
+}
+
+// PreTransRouter routes pre-translation lookups/updates to the DIMM owning
+// the address; it implements the CPU side's PreTransPort.
+type PreTransRouter struct {
+	sys *System
+}
+
+// Lookup implements the port.
+func (p *PreTransRouter) Lookup(paddr uint64) (uint64, bool) {
+	ch, local := p.sys.imc.Route(paddr)
+	pt := p.sys.dimms[ch].PreTrans()
+	if pt == nil {
+		return 0, false
+	}
+	return pt.Lookup(local)
+}
+
+// Update implements the port.
+func (p *PreTransRouter) Update(paddr, pfn uint64) {
+	ch, local := p.sys.imc.Route(paddr)
+	if pt := p.sys.dimms[ch].PreTrans(); pt != nil {
+		pt.Update(local, pfn)
+	}
+}
+
+// ExtraLatency implements the port.
+func (p *PreTransRouter) ExtraLatency() sim.Cycle {
+	for _, d := range p.sys.dimms {
+		if pt := d.PreTrans(); pt != nil {
+			return pt.ExtraLatency()
+		}
+	}
+	return 0
+}
+
+// LazyCacheStats aggregates Lazy cache counters across DIMMs.
+func (s *System) LazyCacheStats() nvdimm.LazyCacheStats {
+	var agg nvdimm.LazyCacheStats
+	for _, d := range s.dimms {
+		// The DIMM exposes its cache through the stats of the attached
+		// instance; DIMMs without one contribute nothing.
+		if lc := d.Lazy(); lc != nil {
+			st := lc.Stats()
+			agg.WriteHits += st.WriteHits
+			agg.ReadHits += st.ReadHits
+			agg.Promotions += st.Promotions
+			agg.WLBEntries += st.WLBEntries
+			agg.L1Occupancy += st.L1Occupancy
+			agg.L2Occupancy += st.L2Occupancy
+		}
+	}
+	return agg
+}
