@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: ci build vet test race fmt-check fmt
+
+# ci is the gate: vet, build, the full suite under the race detector
+# (including the nvmserved integration tests), and a gofmt check.
+ci: vet build race fmt-check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+fmt:
+	gofmt -w .

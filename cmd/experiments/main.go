@@ -35,13 +35,8 @@ func main() {
 		return
 	}
 
-	var sc exp.Scale
-	switch *scale {
-	case "quick":
-		sc = exp.QuickScale()
-	case "paper":
-		sc = exp.PaperScale()
-	default:
+	sc, ok := exp.ScaleByName(*scale)
+	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown scale %q (quick or paper)\n", *scale)
 		os.Exit(2)
 	}

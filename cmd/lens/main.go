@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/analysis"
 	"repro/internal/baseline"
@@ -28,14 +29,9 @@ func main() {
 	)
 	flag.Parse()
 
-	var sc exp.Scale
-	switch *scale {
-	case "quick":
-		sc = exp.QuickScale()
-	case "paper":
-		sc = exp.PaperScale()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+	sc, ok := exp.ScaleByName(*scale)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want %s)\n", *scale, strings.Join(exp.ScaleNames(), " or "))
 		os.Exit(2)
 	}
 

@@ -1,0 +1,78 @@
+// Command nvmserved runs the VANS simulator as a long-lived HTTP service: a
+// bounded job queue feeding a worker pool (one isolated simulator per
+// worker), an LRU result cache keyed by the canonical job hash, service
+// metrics, and a parameter-sweep endpoint.
+//
+// Usage:
+//
+//	nvmserved [-addr :8077] [-workers N] [-queue 64] [-cache 256]
+//	          [-job-timeout 60s] [-drain-timeout 30s]
+//
+// See README.md "Running as a service" for the API and curl examples.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8077", "listen address")
+		workers      = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 64, "job queue depth")
+		cache        = flag.Int("cache", 256, "result cache entries (negative disables)")
+		jobTimeout   = flag.Duration("job-timeout", 60*time.Second, "per-job execution timeout")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain budget")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Options{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cache,
+		JobTimeout:   *jobTimeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("nvmserved: listening on %s (workers=%d queue=%d cache=%d)",
+			*addr, srv.Options().Workers, *queue, *cache)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("nvmserved: %s received, draining (budget %s)", sig, *drainTimeout)
+	case err := <-errc:
+		log.Printf("nvmserved: serve error: %v", err)
+		srv.Shutdown(*drainTimeout)
+		os.Exit(1)
+	}
+
+	// Drain the scheduler while HTTP stays up: draining flips immediately,
+	// so new submissions get 503 (not connection refused) and clients
+	// blocked on ?wait=1 see their jobs finish. Only then close HTTP.
+	if srv.Shutdown(*drainTimeout) {
+		log.Print("nvmserved: drained cleanly")
+	} else {
+		log.Print("nvmserved: drain timeout, in-flight jobs canceled")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("nvmserved: http shutdown: %v", err)
+	}
+}

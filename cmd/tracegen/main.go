@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/trace"
+	"repro/internal/units"
 	"repro/internal/vans"
 	"repro/internal/workload"
 )
@@ -25,21 +26,27 @@ func main() {
 		name         = flag.String("workload", "Redis", "cloud workload (FIO-write, YCSB, TPCC, HashMap, Redis, LinkedList) or SPEC bench name (mcf, lbm, ...)")
 		instructions = flag.Int("instructions", 50000, "instructions to execute")
 		seed         = flag.Uint64("seed", 1, "generator seed")
-		footprint    = flag.Uint64("footprint", 16<<20, "working set bytes")
+		footprintStr = flag.String("footprint", "16M", "working set size (accepts K/M/G suffixes)")
 		binary       = flag.Bool("binary", false, "write the compact binary format")
 		out          = flag.String("out", "", "output path (default stdout)")
 	)
 	flag.Parse()
 
+	footprint, err := units.ParseBytes(*footprintStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	var w cpu.Workload
 	if b, ok := workload.SPECBenchByName(*name); ok {
-		b.FootprintMB = float64(*footprint) / (1 << 20)
+		b.FootprintMB = float64(footprint) / (1 << 20)
 		w = workload.SPEC(b, *instructions, *seed)
 	} else {
 		w = workload.Cloud(*name, workload.CloudOptions{
 			Instructions: *instructions,
 			Seed:         *seed,
-			Footprint:    *footprint,
+			Footprint:    footprint,
 		})
 	}
 	if w == nil {

@@ -1,39 +1,28 @@
 // Command vans replays a memory trace (or a built-in access pattern)
 // through the VANS simulator in trace mode and prints latency, bandwidth,
-// and DIMM-internal statistics.
+// and DIMM-internal statistics. With -json it prints the same result payload
+// the nvmserved service returns, produced by the same run entry point.
 //
 // Usage:
 //
 //	vans -trace accesses.txt [-dimms 6 -interleaved]
 //	vans -pattern chase -region 1M
-//	vans -pattern seq -bytes 1M -op store-nt
+//	vans -pattern seq -bytes 1M -op store-nt -json
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
-	"repro/internal/mem"
-	"repro/internal/sim"
-	"repro/internal/trace"
-	"repro/internal/vans"
+	"repro/internal/server"
 )
 
-func parseBytes(s string) (uint64, error) {
-	mult := uint64(1)
-	switch {
-	case strings.HasSuffix(s, "K"):
-		mult, s = 1<<10, strings.TrimSuffix(s, "K")
-	case strings.HasSuffix(s, "M"):
-		mult, s = 1<<20, strings.TrimSuffix(s, "M")
-	case strings.HasSuffix(s, "G"):
-		mult, s = 1<<30, strings.TrimSuffix(s, "G")
-	}
-	v, err := strconv.ParseUint(s, 10, 64)
-	return v * mult, err
+func fatalf(code int, format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(code)
 }
 
 func main() {
@@ -46,94 +35,58 @@ func main() {
 		dimms       = flag.Int("dimms", 1, "number of NVDIMMs")
 		interleaved = flag.Bool("interleaved", false, "4KB multi-DIMM interleaving")
 		window      = flag.Int("window", 10, "outstanding requests")
+		seed        = flag.Uint64("seed", 1, "workload seed")
+		jsonOut     = flag.Bool("json", false, "print the result as JSON (the nvmserved payload)")
 	)
 	flag.Parse()
 
-	cfg := vans.DefaultConfig()
-	cfg.DIMMs = *dimms
-	cfg.Interleaved = *interleaved
-	sys := vans.New(cfg)
-	d := mem.NewDriver(sys)
-
-	var accs []mem.Access
+	spec := server.JobSpec{
+		Config: server.ConfigSpec{DIMMs: *dimms, Interleaved: *interleaved},
+		Window: *window,
+		Seed:   *seed,
+	}
 	switch {
 	case *traceFile != "":
-		f, err := os.Open(*traceFile)
+		text, err := os.ReadFile(*traceFile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatalf(1, "%v", err)
 		}
-		recs, err := trace.NewReader(f).ReadAll()
-		f.Close()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		for _, r := range recs {
-			accs = append(accs, r.Access())
-		}
+		spec.Workload = server.WorkloadSpec{Kind: server.KindTrace, Trace: string(text)}
 	case *pattern == "chase":
-		reg, err := parseBytes(*region)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		blocks := int(reg / 64)
-		perm := sim.NewRNG(1).PermCycle(blocks)
-		at := 0
-		steps := blocks
-		if steps > 200000 {
-			steps = 200000
-		}
-		for i := 0; i < steps; i++ {
-			accs = append(accs, mem.Access{Op: mem.OpRead, Addr: uint64(at) * 64, Size: 64})
-			at = perm[at]
-		}
-		*window = 1 // dependent chain
+		spec.Workload = server.WorkloadSpec{Kind: server.KindChase, Region: *region}
 	case *pattern == "seq":
-		tot, err := parseBytes(*total)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		var o mem.Op
-		switch *op {
-		case "load":
-			o = mem.OpRead
-		case "store":
-			o = mem.OpWrite
-		case "store-nt":
-			o = mem.OpWriteNT
-		default:
-			fmt.Fprintf(os.Stderr, "unknown op %q\n", *op)
-			os.Exit(2)
-		}
-		for a := uint64(0); a < tot; a += 64 {
-			accs = append(accs, mem.Access{Op: o, Addr: a, Size: 64})
-		}
+		spec.Workload = server.WorkloadSpec{Kind: server.KindSeq, Bytes: *total, Op: *op}
+	case *pattern != "":
+		fatalf(2, "unknown pattern %q (want chase or seq)", *pattern)
 	default:
-		fmt.Fprintln(os.Stderr, "need -trace or -pattern")
+		fmt.Fprintln(os.Stderr, "vans: need -trace FILE or -pattern chase|seq")
+		flag.Usage()
 		os.Exit(2)
 	}
 
-	elapsed := d.RunWindow(accs, *window)
-	fStart := sys.Engine().Now()
-	d.Fence()
-	drain := sys.Engine().Now() - fStart
+	res, err := server.RunSpec(context.Background(), spec)
+	if err != nil {
+		fatalf(2, "vans: %v", err)
+	}
 
-	bytes := uint64(len(accs)) * 64
-	fmt.Printf("accesses:        %d (%s)\n", len(accs), mem.Bytes(bytes))
-	fmt.Printf("elapsed:         %.2f us (+%.2f us drain)\n",
-		mem.ToNs(sys, elapsed)/1000, mem.ToNs(sys, drain)/1000)
-	fmt.Printf("avg latency/CL:  %.1f ns\n", mem.ToNs(sys, elapsed)/float64(len(accs)))
-	fmt.Printf("bandwidth:       %.2f GB/s\n", mem.BandwidthGBs(sys, bytes, elapsed+drain))
-	for i, dm := range sys.DIMMs() {
-		st := dm.Stats()
-		ms := dm.Media().Stats()
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatalf(1, "%v", err)
+		}
+		return
+	}
+
+	fmt.Printf("accesses:        %d (%d bytes)\n", res.Accesses, res.BytesMoved)
+	fmt.Printf("elapsed:         %.2f us (+%.2f us drain)\n", res.ElapsedNs/1000, res.DrainNs/1000)
+	fmt.Printf("avg latency/CL:  %.1f ns\n", res.AvgLatencyNs)
+	fmt.Printf("bandwidth:       %.2f GB/s\n", res.BandwidthGBs)
+	for i, d := range res.Vans.DIMMs {
 		fmt.Printf("DIMM %d: reads=%d writes=%d lsqMerge=%d rmwHit=%d/%d aitHit=%d/%d media R/W=%d/%d migrations=%d\n",
-			i, st.ClientReads, st.ClientWrites, st.LSQMerges,
-			st.RMWHits, st.RMWHits+st.RMWMisses,
-			st.AITHits, st.AITHits+st.AITLineMiss+st.AITSectorMis,
-			ms.Reads, ms.Writes, st.Migrations)
+			i, d.ClientReads, d.ClientWrites, d.LSQMerges,
+			d.RMWHits, d.RMWHits+d.RMWMisses,
+			d.AITHits, d.AITHits+d.AITLineMiss+d.AITSectorMiss,
+			d.MediaReads, d.MediaWrites, d.Migrations)
 	}
 }

@@ -106,6 +106,21 @@ func PaperScale() Scale {
 	}
 }
 
+// ScaleNames lists the named scales in CLI order.
+func ScaleNames() []string { return []string{"quick", "paper"} }
+
+// ScaleByName resolves the "-scale" vocabulary shared by cmd/lens,
+// cmd/experiments, and nvmserved sweep requests.
+func ScaleByName(name string) (Scale, bool) {
+	switch name {
+	case "quick":
+		return QuickScale(), true
+	case "paper":
+		return PaperScale(), true
+	}
+	return Scale{}, false
+}
+
 // Experiment is a registered artifact generator.
 type Experiment struct {
 	ID    string

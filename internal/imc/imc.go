@@ -51,10 +51,10 @@ func DefaultConfig() Config {
 		// occupies the bus ~10ns (the pipelined-beat cost, setting the
 		// ~3 GB/s per-channel ceiling); the request/grant handshake adds
 		// fixed round-trip latency without occupying the bus.
-		BusTransferNs:   10,
-		BusTurnNs:       12,
-		ReadOverheadNs:  90,
-		WriteAcceptNs:   60,
+		BusTransferNs:  10,
+		BusTurnNs:      12,
+		ReadOverheadNs: 90,
+		WriteAcceptNs:  60,
 		// Fast WPQ->LSQ handshake: bursts are absorbed by the on-DIMM LSQ,
 		// and sustained store backpressure comes from the DIMM internals
 		// (LSQ-full retries paced by the media write rate). Small-region
@@ -98,11 +98,11 @@ func (c Config) WPQBytes() uint64 { return uint64(c.WPQSlots) * 64 }
 
 // Stats counts iMC activity.
 type Stats struct {
-	Reads       uint64
-	Writes      uint64
-	WPQMerges   uint64
-	Forwards    uint64  // reads served from WPQ contents
-	Fences      uint64
+	Reads     uint64
+	Writes    uint64
+	WPQMerges uint64
+	Forwards  uint64 // reads served from WPQ contents
+	Fences    uint64
 }
 
 // IMC is the integrated memory controller: an interleaver over channels,

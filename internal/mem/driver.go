@@ -79,13 +79,30 @@ func (d *Driver) RunChainTimed(accs []Access) ChainResult {
 // parallelism. It returns the total cycles from first submit until the last
 // completion (all requests drained).
 func (d *Driver) RunWindow(accs []Access, window int) sim.Cycle {
+	elapsed, _ := d.RunWindowChecked(accs, window, nil)
+	return elapsed
+}
+
+// RunWindowChecked is RunWindow with a cooperative cancellation hook: when
+// keepGoing is non-nil it is polled before each submission, and a false
+// return abandons the remaining accesses after draining what is already in
+// flight. The second result reports whether the whole stream was issued.
+// A run that completes has timing identical to RunWindow (the hook never
+// touches the engine), which is what lets nvmserved enforce per-job timeouts
+// without perturbing results.
+func (d *Driver) RunWindowChecked(accs []Access, window int, keepGoing func() bool) (sim.Cycle, bool) {
 	if window < 1 {
 		window = 1
 	}
 	eng := d.sys.Engine()
 	start := eng.Now()
 	inflight := 0
+	completed := true
 	for _, a := range accs {
+		if keepGoing != nil && !keepGoing() {
+			completed = false
+			break
+		}
 		for inflight >= window {
 			fired := eng.Fired()
 			eng.RunWhile(func() bool { return eng.Fired() == fired && inflight >= window })
@@ -106,7 +123,7 @@ func (d *Driver) RunWindow(accs []Access, window int) sim.Cycle {
 		fired := eng.Fired()
 		eng.RunWhile(func() bool { return eng.Fired() == fired })
 	}
-	return eng.Now() - start
+	return eng.Now() - start, completed
 }
 
 // Fence submits an OpFence and runs until it completes, guaranteeing all

@@ -1,0 +1,68 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	ra, rb, rc := &Result{Hash: "a"}, &Result{Hash: "b"}, &Result{Hash: "c"}
+	c.Put("a", ra)
+	c.Put("b", rb)
+	if _, ok := c.Get("a"); !ok { // promotes a over b
+		t.Fatal("a missing")
+	}
+	c.Put("c", rc) // evicts b, the least recently used
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction; LRU order wrong")
+	}
+	if got, ok := c.Get("a"); !ok || got != ra {
+		t.Error("a evicted or wrong value")
+	}
+	if got, ok := c.Get("c"); !ok || got != rc {
+		t.Error("c missing")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestCacheOverwrite(t *testing.T) {
+	c := newResultCache(2)
+	c.Put("a", &Result{Accesses: 1})
+	c.Put("a", &Result{Accesses: 2})
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	got, _ := c.Get("a")
+	if got.Accesses != 2 {
+		t.Errorf("Get after overwrite = %d, want 2", got.Accesses)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newResultCache(0)
+	c.Put("a", &Result{})
+	if _, ok := c.Get("a"); ok {
+		t.Error("zero-capacity cache returned a hit")
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len = %d, want 0", c.Len())
+	}
+}
+
+func TestCacheChurn(t *testing.T) {
+	c := newResultCache(8)
+	for i := 0; i < 100; i++ {
+		c.Put(fmt.Sprint(i), &Result{Accesses: i})
+	}
+	if c.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", c.Len())
+	}
+	for i := 92; i < 100; i++ {
+		if got, ok := c.Get(fmt.Sprint(i)); !ok || got.Accesses != i {
+			t.Errorf("recent key %d missing", i)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestRunDeterminismAcrossRunners is the regression test that makes the
+// result cache sound: the same compiled job, run on different Runners in
+// concurrent goroutines, must produce byte-identical canonical results.
+func TestRunDeterminismAcrossRunners(t *testing.T) {
+	specs := map[string]JobSpec{
+		"chase": chaseSpec("32K", 3),
+		"seq":   seqSpec("32K", "store-nt", 3),
+		"trace": {Workload: WorkloadSpec{Kind: KindTrace,
+			Trace: "0 load 0x0 64\n0 store 0x40 64\n0 store-nt 0x1000 64\n0 mfence 0x0 0\n"}},
+		"cloud": {Workload: WorkloadSpec{Kind: KindCloud, Name: "Redis",
+			Instructions: 4000, Footprint: "1M"}, Seed: 9},
+	}
+	for name, spec := range specs {
+		spec := spec
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			p, err := spec.Compile()
+			if err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			const replicas = 3
+			out := make([][]byte, replicas)
+			var wg sync.WaitGroup
+			for i := 0; i < replicas; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					res, err := NewRunner().Run(context.Background(), p)
+					if err != nil {
+						t.Errorf("replica %d: %v", i, err)
+						return
+					}
+					out[i] = res.Canonical()
+				}(i)
+			}
+			wg.Wait()
+			for i := 1; i < replicas; i++ {
+				if out[i] == nil || out[0] == nil {
+					t.Fatal("missing replica output")
+				}
+				if !bytes.Equal(out[0], out[i]) {
+					t.Errorf("replica %d diverged:\n%s\nvs\n%s", i, out[0], out[i])
+				}
+			}
+		})
+	}
+}
+
+// TestRunSpecMatchesRunner pins the CLI entry point to the worker path.
+func TestRunSpecMatchesRunner(t *testing.T) {
+	spec := chaseSpec("16K", 5)
+	a, err := RunSpec(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := spec.Compile()
+	b, err := NewRunner().Run(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Canonical(), b.Canonical()) {
+		t.Error("RunSpec and Runner.Run disagree on the same spec")
+	}
+	if a.Hash != p.Hash() {
+		t.Errorf("result hash %s != plan hash %s", a.Hash, p.Hash())
+	}
+}
+
+// TestRunSanity spot-checks that results carry real simulation output.
+func TestRunSanity(t *testing.T) {
+	res, err := RunSpec(context.Background(), seqSpec("16K", "store-nt", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accesses != 256 || res.BytesMoved != 16<<10 {
+		t.Errorf("accesses=%d bytes=%d, want 256 / 16384", res.Accesses, res.BytesMoved)
+	}
+	if res.ElapsedCycles == 0 || res.BandwidthGBs <= 0 {
+		t.Errorf("degenerate timing: %+v", res)
+	}
+	if len(res.Vans.DIMMs) != 1 || res.Vans.DIMMs[0].ClientWrites == 0 {
+		t.Errorf("snapshot missing DIMM activity: %+v", res.Vans)
+	}
+}
+
+// TestRunCancellation verifies a canceled context aborts a long replay.
+func TestRunCancellation(t *testing.T) {
+	spec := chaseSpec("64M", 1)
+	spec.Workload.MaxSteps = maxChaseSteps // long dependent chain
+	p, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rn := NewRunner()
+	rn.checkEvery = 64
+	if _, err := rn.Run(ctx, p); err == nil {
+		t.Fatal("Run with canceled context succeeded")
+	}
+}

@@ -1,0 +1,128 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// Handler returns the nvmserved HTTP API:
+//
+//	POST /v1/jobs            submit a JobSpec; ?wait=1 blocks until terminal
+//	GET  /v1/jobs/{id}       job status
+//	GET  /v1/jobs/{id}/result  result of a completed job
+//	GET  /v1/healthz         liveness + drain state
+//	GET  /v1/metrics         expvar-style service metrics
+//	POST /v1/sweep           fan a parameter sweep across the pool (NDJSON)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	if code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+// submitResponse is the POST /v1/jobs payload: the job status, plus the
+// result inline when the job is already terminal (cache hit or ?wait=1).
+type submitResponse struct {
+	Job    JobStatus `json:"job"`
+	Result *Result   `json:"result,omitempty"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	st, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if r.URL.Query().Get("wait") != "" && st.State != JobDone {
+		if st, err = s.Wait(r.Context(), st.ID); err != nil {
+			writeError(w, http.StatusGatewayTimeout, err)
+			return
+		}
+	}
+	resp := submitResponse{Job: st}
+	code := http.StatusAccepted
+	if st.State == JobDone {
+		code = http.StatusOK
+		resp.Result, _, _ = s.Result(st.ID)
+	}
+	writeJSON(w, code, resp)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.Status(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	res, st, ok := s.Result(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	switch st.State {
+	case JobDone:
+		writeJSON(w, http.StatusOK, res)
+	case JobQueued, JobRunning:
+		// Not terminal yet: report progress, not an error.
+		writeJSON(w, http.StatusAccepted, st)
+	default:
+		writeJSON(w, http.StatusConflict, st)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	type health struct {
+		Status   string `json:"status"`
+		Draining bool   `json:"draining"`
+	}
+	h := health{Status: "ok", Draining: s.Draining()}
+	code := http.StatusOK
+	if h.Draining {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+}

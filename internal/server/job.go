@@ -1,0 +1,282 @@
+// Package server implements nvmserved: the VANS simulator as a long-lived
+// concurrent service. It provides a validated job model with deterministic
+// canonical hashing, a bounded-queue worker-pool scheduler where every
+// worker runs jobs on its own isolated sim.Engine + vans.System, an LRU
+// result cache keyed by the job hash, an HTTP/JSON API, and a parameter
+// sweep endpoint that fans one sweep across the pool.
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/vans"
+	"repro/internal/workload"
+)
+
+// JobSpec is the client-facing description of one simulation: a VANS
+// configuration, a workload, and a replay seed. All byte sizes are strings
+// with optional K/M/G suffixes (parsed by internal/units). Zero-valued
+// optional fields are defaulted by Compile.
+type JobSpec struct {
+	Config   ConfigSpec   `json:"config"`
+	Workload WorkloadSpec `json:"workload"`
+	// Window is the outstanding-request window for the replay. Chase
+	// workloads ignore it (a dependent chain replays with window 1).
+	// Default 10.
+	Window int `json:"window,omitempty"`
+	// Seed drives workload generation. Default 1.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// ConfigSpec selects the simulated system.
+type ConfigSpec struct {
+	// DIMMs is the NVDIMM count (default 1).
+	DIMMs int `json:"dimms,omitempty"`
+	// Interleaved enables 4KB multi-DIMM interleaving.
+	Interleaved bool `json:"interleaved,omitempty"`
+	// Mode is "appdirect" (default) or "memory".
+	Mode string `json:"mode,omitempty"`
+	// MediaBytes overrides the per-DIMM media capacity ("256M").
+	MediaBytes string `json:"media_bytes,omitempty"`
+	// DRAMCache sizes the Memory-mode near cache ("1G").
+	DRAMCache string `json:"dram_cache,omitempty"`
+	// Seed drives stochastic model choices (wear-leveling partners).
+	// Default 1.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// WorkloadSpec selects the access stream.
+type WorkloadSpec struct {
+	// Kind is "chase", "seq", "trace", or "cloud".
+	Kind string `json:"kind"`
+	// Region is the chase region size (default "1M").
+	Region string `json:"region,omitempty"`
+	// MaxSteps caps the chase walk (default 200000).
+	MaxSteps int `json:"max_steps,omitempty"`
+	// Bytes is the seq stream footprint (default "1M").
+	Bytes string `json:"bytes,omitempty"`
+	// Op is the seq operation: "load" (default), "store", or "store-nt".
+	Op string `json:"op,omitempty"`
+	// Trace is an inline text-format trace (see internal/trace) for
+	// kind "trace".
+	Trace string `json:"trace,omitempty"`
+	// Name is a Section V cloud workload (Redis, YCSB, ...) or a Table IV
+	// SPEC bench (mcf, lbm, ...) for kind "cloud"; the stream is captured
+	// through the CPU substrate and then replayed.
+	Name string `json:"name,omitempty"`
+	// Instructions bounds the cloud capture (default 50000).
+	Instructions int `json:"instructions,omitempty"`
+	// Footprint is the cloud working-set size (default "16M").
+	Footprint string `json:"footprint,omitempty"`
+}
+
+// Workload kinds.
+const (
+	KindChase = "chase"
+	KindSeq   = "seq"
+	KindTrace = "trace"
+	KindCloud = "cloud"
+)
+
+// hashVersion re-keys the cache whenever the plan layout or runner semantics
+// change incompatibly.
+const hashVersion = "nvmserved/1:"
+
+// Plan is the validated, fully defaulted form of a JobSpec: every size
+// parsed, every default applied. Hashing and execution both work from the
+// Plan, so the cache key covers exactly what the runner sees.
+type Plan struct {
+	DIMMs        int    `json:"dimms"`
+	Interleaved  bool   `json:"interleaved"`
+	Mode         string `json:"mode"`
+	MediaBytes   uint64 `json:"media_bytes"`
+	DRAMCache    uint64 `json:"dram_cache"`
+	CfgSeed      uint64 `json:"cfg_seed"`
+	Kind         string `json:"kind"`
+	Region       uint64 `json:"region"`
+	MaxSteps     int    `json:"max_steps"`
+	Bytes        uint64 `json:"bytes"`
+	Op           string `json:"op"`
+	Trace        string `json:"trace"`
+	Name         string `json:"name"`
+	Instructions int    `json:"instructions"`
+	Footprint    uint64 `json:"footprint"`
+	Window       int    `json:"window"`
+	Seed         uint64 `json:"seed"`
+}
+
+// Hash returns the canonical job hash: SHA-256 over a version tag plus the
+// plan's canonical JSON. Struct fields marshal in declaration order and the
+// plan holds no maps, so the encoding — and therefore the cache key — is
+// deterministic.
+func (p *Plan) Hash() string {
+	b, err := json.Marshal(p)
+	if err != nil {
+		// A plan is plain data; marshal cannot fail.
+		panic("server: marshaling plan: " + err.Error())
+	}
+	sum := sha256.Sum256(append([]byte(hashVersion), b...))
+	return hex.EncodeToString(sum[:])
+}
+
+// VansConfig translates the plan into a simulator configuration.
+func (p *Plan) VansConfig() vans.Config {
+	cfg := vans.DefaultConfig()
+	cfg.DIMMs = p.DIMMs
+	cfg.Interleaved = p.Interleaved
+	if p.Mode == "memory" {
+		cfg.Mode = vans.MemoryMode
+	}
+	if p.MediaBytes != 0 {
+		cfg.NV.Media.Capacity = p.MediaBytes
+	}
+	cfg.DRAMCacheBytes = p.DRAMCache
+	cfg.Seed = p.CfgSeed
+	return cfg
+}
+
+// Limits keep a single job bounded; sweeps and batches are the mechanism for
+// larger studies.
+const (
+	maxDIMMs        = 16
+	maxRegionBytes  = 1 << 30
+	maxSeqBytes     = 1 << 30
+	maxChaseSteps   = 1 << 20
+	maxInstructions = 4 << 20
+	maxWindow       = 1 << 10
+	maxTraceBytes   = 16 << 20
+)
+
+// Compile validates spec, applies defaults, and returns the executable plan.
+// All validation errors are client errors (bad request).
+func (s JobSpec) Compile() (*Plan, error) {
+	p := &Plan{}
+
+	p.DIMMs = s.Config.DIMMs
+	if p.DIMMs == 0 {
+		p.DIMMs = 1
+	}
+	if p.DIMMs < 1 || p.DIMMs > maxDIMMs {
+		return nil, fmt.Errorf("config.dimms %d out of range [1,%d]", p.DIMMs, maxDIMMs)
+	}
+	p.Interleaved = s.Config.Interleaved
+	switch strings.ToLower(s.Config.Mode) {
+	case "", "appdirect":
+		p.Mode = "appdirect"
+	case "memory":
+		p.Mode = "memory"
+	default:
+		return nil, fmt.Errorf("config.mode %q: want appdirect or memory", s.Config.Mode)
+	}
+	var err error
+	if p.MediaBytes, err = units.ParseBytesDefault(s.Config.MediaBytes, 0); err != nil {
+		return nil, fmt.Errorf("config.media_bytes: %v", err)
+	}
+	if p.DRAMCache, err = units.ParseBytesDefault(s.Config.DRAMCache, 0); err != nil {
+		return nil, fmt.Errorf("config.dram_cache: %v", err)
+	}
+	p.CfgSeed = s.Config.Seed
+	if p.CfgSeed == 0 {
+		p.CfgSeed = 1
+	}
+
+	p.Window = s.Window
+	if p.Window == 0 {
+		p.Window = 10
+	}
+	if p.Window < 1 || p.Window > maxWindow {
+		return nil, fmt.Errorf("window %d out of range [1,%d]", p.Window, maxWindow)
+	}
+	p.Seed = s.Seed
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+
+	w := s.Workload
+	p.Kind = strings.ToLower(w.Kind)
+	switch p.Kind {
+	case KindChase:
+		if p.Region, err = units.ParseBytesDefault(w.Region, 1<<20); err != nil {
+			return nil, fmt.Errorf("workload.region: %v", err)
+		}
+		if p.Region < 2*mem.CacheLine || p.Region > maxRegionBytes {
+			return nil, fmt.Errorf("workload.region %d out of range [%d,%d]",
+				p.Region, 2*mem.CacheLine, maxRegionBytes)
+		}
+		p.MaxSteps = w.MaxSteps
+		if p.MaxSteps == 0 {
+			p.MaxSteps = 200000
+		}
+		if p.MaxSteps < 1 || p.MaxSteps > maxChaseSteps {
+			return nil, fmt.Errorf("workload.max_steps %d out of range [1,%d]", p.MaxSteps, maxChaseSteps)
+		}
+	case KindSeq:
+		if p.Bytes, err = units.ParseBytesDefault(w.Bytes, 1<<20); err != nil {
+			return nil, fmt.Errorf("workload.bytes: %v", err)
+		}
+		if p.Bytes < mem.CacheLine || p.Bytes > maxSeqBytes {
+			return nil, fmt.Errorf("workload.bytes %d out of range [%d,%d]",
+				p.Bytes, mem.CacheLine, maxSeqBytes)
+		}
+		switch w.Op {
+		case "":
+			p.Op = "load"
+		case "load", "store", "store-nt":
+			p.Op = w.Op
+		default:
+			return nil, fmt.Errorf("workload.op %q: want load, store, or store-nt", w.Op)
+		}
+	case KindTrace:
+		if strings.TrimSpace(w.Trace) == "" {
+			return nil, fmt.Errorf("workload.trace: empty trace")
+		}
+		if len(w.Trace) > maxTraceBytes {
+			return nil, fmt.Errorf("workload.trace: %d bytes exceeds limit %d", len(w.Trace), maxTraceBytes)
+		}
+		if _, err := trace.ReadAccesses(strings.NewReader(w.Trace)); err != nil {
+			return nil, fmt.Errorf("workload.trace: %v", err)
+		}
+		p.Trace = w.Trace
+	case KindCloud:
+		p.Name = w.Name
+		if _, isSPEC := workload.SPECBenchByName(p.Name); !isSPEC && !isCloudName(p.Name) {
+			return nil, fmt.Errorf("workload.name %q: want one of %s or a SPEC bench",
+				p.Name, strings.Join(workload.CloudNames(), ", "))
+		}
+		p.Instructions = w.Instructions
+		if p.Instructions == 0 {
+			p.Instructions = 50000
+		}
+		if p.Instructions < 1 || p.Instructions > maxInstructions {
+			return nil, fmt.Errorf("workload.instructions %d out of range [1,%d]", p.Instructions, maxInstructions)
+		}
+		if p.Footprint, err = units.ParseBytesDefault(w.Footprint, 16<<20); err != nil {
+			return nil, fmt.Errorf("workload.footprint: %v", err)
+		}
+		if p.Footprint < 1<<10 || p.Footprint > maxRegionBytes {
+			return nil, fmt.Errorf("workload.footprint %d out of range [%d,%d]",
+				p.Footprint, 1<<10, maxRegionBytes)
+		}
+	case "":
+		return nil, fmt.Errorf("workload.kind: required (chase, seq, trace, or cloud)")
+	default:
+		return nil, fmt.Errorf("workload.kind %q: want chase, seq, trace, or cloud", w.Kind)
+	}
+	return p, nil
+}
+
+func isCloudName(name string) bool {
+	for _, n := range workload.CloudNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}

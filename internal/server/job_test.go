@@ -1,0 +1,132 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+func chaseSpec(region string, seed uint64) JobSpec {
+	return JobSpec{
+		Workload: WorkloadSpec{Kind: KindChase, Region: region, MaxSteps: 400},
+		Seed:     seed,
+	}
+}
+
+func seqSpec(bytes, op string, seed uint64) JobSpec {
+	return JobSpec{
+		Workload: WorkloadSpec{Kind: KindSeq, Bytes: bytes, Op: op},
+		Seed:     seed,
+	}
+}
+
+func TestCompileDefaults(t *testing.T) {
+	p, err := JobSpec{Workload: WorkloadSpec{Kind: "chase"}}.Compile()
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if p.DIMMs != 1 || p.Mode != "appdirect" || p.CfgSeed != 1 {
+		t.Errorf("config defaults wrong: %+v", p)
+	}
+	if p.Region != 1<<20 || p.MaxSteps != 200000 {
+		t.Errorf("chase defaults wrong: region=%d maxSteps=%d", p.Region, p.MaxSteps)
+	}
+	if p.Window != 10 || p.Seed != 1 {
+		t.Errorf("replay defaults wrong: window=%d seed=%d", p.Window, p.Seed)
+	}
+
+	p, err = JobSpec{Workload: WorkloadSpec{Kind: "seq"}}.Compile()
+	if err != nil {
+		t.Fatalf("Compile seq: %v", err)
+	}
+	if p.Bytes != 1<<20 || p.Op != "load" {
+		t.Errorf("seq defaults wrong: bytes=%d op=%q", p.Bytes, p.Op)
+	}
+}
+
+func TestCompileSizeSuffixes(t *testing.T) {
+	spec := chaseSpec("4K", 1)
+	spec.Config.MediaBytes = "64M"
+	p, err := spec.Compile()
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if p.Region != 4<<10 {
+		t.Errorf("region = %d, want %d", p.Region, 4<<10)
+	}
+	if p.MediaBytes != 64<<20 {
+		t.Errorf("media = %d, want %d", p.MediaBytes, 64<<20)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := map[string]JobSpec{
+		"no kind":      {},
+		"bad kind":     {Workload: WorkloadSpec{Kind: "zap"}},
+		"bad op":       {Workload: WorkloadSpec{Kind: "seq", Op: "zap"}},
+		"bad size":     {Workload: WorkloadSpec{Kind: "seq", Bytes: "12X"}},
+		"tiny region":  {Workload: WorkloadSpec{Kind: "chase", Region: "64"}},
+		"huge region":  {Workload: WorkloadSpec{Kind: "chase", Region: "8G"}},
+		"bad mode":     {Config: ConfigSpec{Mode: "direct"}, Workload: WorkloadSpec{Kind: "chase"}},
+		"bad dimms":    {Config: ConfigSpec{DIMMs: 99}, Workload: WorkloadSpec{Kind: "chase"}},
+		"bad window":   {Window: -2, Workload: WorkloadSpec{Kind: "chase"}},
+		"empty trace":  {Workload: WorkloadSpec{Kind: "trace"}},
+		"bad trace":    {Workload: WorkloadSpec{Kind: "trace", Trace: "0 zap 0x0 64"}},
+		"bad cloud":    {Workload: WorkloadSpec{Kind: "cloud", Name: "NoSuchDB"}},
+		"neg instrs":   {Workload: WorkloadSpec{Kind: "cloud", Name: "Redis", Instructions: -1}},
+		"huge instrs":  {Workload: WorkloadSpec{Kind: "cloud", Name: "Redis", Instructions: 1 << 30}},
+		"bad footmeas": {Workload: WorkloadSpec{Kind: "cloud", Name: "Redis", Footprint: "nope"}},
+	}
+	for name, spec := range cases {
+		if _, err := spec.Compile(); err == nil {
+			t.Errorf("%s: Compile succeeded, want error", name)
+		}
+	}
+}
+
+func TestCompileTrace(t *testing.T) {
+	text := "0 load 0x0 64\n0 store-nt 0x40 64\n0 mfence 0x0 0\n"
+	p, err := JobSpec{Workload: WorkloadSpec{Kind: "trace", Trace: text}}.Compile()
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if p.Trace != text {
+		t.Errorf("trace text not preserved")
+	}
+}
+
+func TestHashStableAndSensitive(t *testing.T) {
+	a1, err := chaseSpec("64K", 7).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := chaseSpec("64K", 7).Compile()
+	if a1.Hash() != a2.Hash() {
+		t.Errorf("identical specs hash differently: %s vs %s", a1.Hash(), a2.Hash())
+	}
+	if len(a1.Hash()) != 64 || strings.ToLower(a1.Hash()) != a1.Hash() {
+		t.Errorf("hash %q is not lowercase hex sha256", a1.Hash())
+	}
+
+	// Equivalent spellings canonicalize to the same hash.
+	b, _ := chaseSpec("65536", 7).Compile()
+	if b.Hash() != a1.Hash() {
+		t.Errorf("\"64K\" and \"65536\" hash differently")
+	}
+
+	// Any semantic change re-keys.
+	for name, spec := range map[string]JobSpec{
+		"seed":   chaseSpec("64K", 8),
+		"region": chaseSpec("32K", 7),
+		"kind":   seqSpec("64K", "load", 7),
+		"dimms": {Config: ConfigSpec{DIMMs: 2},
+			Workload: WorkloadSpec{Kind: KindChase, Region: "64K", MaxSteps: 400}, Seed: 7},
+	} {
+		p, err := spec.Compile()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Hash() == a1.Hash() {
+			t.Errorf("%s change did not change the hash", name)
+		}
+	}
+}

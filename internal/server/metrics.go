@@ -1,0 +1,123 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Metrics aggregates service counters and the job latency distribution.
+// All mutators are safe for concurrent use; the snapshot is served as flat
+// expvar-style JSON by GET /v1/metrics.
+type Metrics struct {
+	mu               sync.Mutex
+	accepted         uint64
+	completed        uint64
+	failed           uint64
+	canceled         uint64
+	cached           uint64
+	rejectedFull     uint64
+	rejectedDraining uint64
+	cacheHits        uint64
+	cacheMisses      uint64
+	busy             time.Duration
+	latency          *sim.Accumulator // job wall latency, milliseconds
+	start            time.Time
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{latency: sim.NewAccumulator(), start: time.Now()}
+}
+
+func (m *Metrics) add(field *uint64) {
+	m.mu.Lock()
+	*field++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) jobAccepted()    { m.add(&m.accepted) }
+func (m *Metrics) jobFailed()      { m.add(&m.failed) }
+func (m *Metrics) jobCanceled()    { m.add(&m.canceled) }
+func (m *Metrics) rejectFull()     { m.add(&m.rejectedFull) }
+func (m *Metrics) rejectDraining() { m.add(&m.rejectedDraining) }
+func (m *Metrics) cacheMiss()      { m.add(&m.cacheMisses) }
+
+// cacheHit records a submission served entirely from the cache.
+func (m *Metrics) cacheHit() {
+	m.mu.Lock()
+	m.cacheHits++
+	m.cached++
+	m.mu.Unlock()
+}
+
+// jobCompleted records a successful run and its wall latency.
+func (m *Metrics) jobCompleted(wall time.Duration) {
+	m.mu.Lock()
+	m.completed++
+	m.latency.Observe(float64(wall) / float64(time.Millisecond))
+	m.mu.Unlock()
+}
+
+// workerBusy accrues wall time a worker spent executing a job, for the
+// utilization gauge.
+func (m *Metrics) workerBusy(d time.Duration) {
+	m.mu.Lock()
+	m.busy += d
+	m.mu.Unlock()
+}
+
+// MetricsSnapshot is the JSON shape of GET /v1/metrics.
+type MetricsSnapshot struct {
+	UptimeSeconds     float64     `json:"uptime_seconds"`
+	Workers           int         `json:"workers"`
+	WorkersBusy       int         `json:"workers_busy"`
+	WorkerUtilization float64     `json:"worker_utilization"`
+	QueueDepth        int         `json:"queue_depth"`
+	QueueCapacity     int         `json:"queue_capacity"`
+	JobsAccepted      uint64      `json:"jobs_accepted"`
+	JobsCompleted     uint64      `json:"jobs_completed"`
+	JobsFailed        uint64      `json:"jobs_failed"`
+	JobsCanceled      uint64      `json:"jobs_canceled"`
+	JobsCached        uint64      `json:"jobs_cached"`
+	RejectedQueueFull uint64      `json:"rejected_queue_full"`
+	RejectedDraining  uint64      `json:"rejected_draining"`
+	CacheHits         uint64      `json:"cache_hits"`
+	CacheMisses       uint64      `json:"cache_misses"`
+	CacheEntries      int         `json:"cache_entries"`
+	CacheHitRate      float64     `json:"cache_hit_rate"`
+	JobLatencyMs      sim.Summary `json:"job_latency_ms"`
+}
+
+// snapshot folds in the gauges owned by the scheduler (queue depth, busy
+// workers, cache residency).
+func (m *Metrics) snapshot(workers, workersBusy, queueDepth, queueCap, cacheLen int) MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	uptime := time.Since(m.start)
+	s := MetricsSnapshot{
+		UptimeSeconds:     uptime.Seconds(),
+		Workers:           workers,
+		WorkersBusy:       workersBusy,
+		QueueDepth:        queueDepth,
+		QueueCapacity:     queueCap,
+		JobsAccepted:      m.accepted,
+		JobsCompleted:     m.completed,
+		JobsFailed:        m.failed,
+		JobsCanceled:      m.canceled,
+		JobsCached:        m.cached,
+		RejectedQueueFull: m.rejectedFull,
+		RejectedDraining:  m.rejectedDraining,
+		CacheHits:         m.cacheHits,
+		CacheMisses:       m.cacheMisses,
+		CacheEntries:      cacheLen,
+		JobLatencyMs:      m.latency.Summarize(),
+	}
+	if lookups := m.cacheHits + m.cacheMisses; lookups > 0 {
+		s.CacheHitRate = float64(m.cacheHits) / float64(lookups)
+	}
+	if workers > 0 && uptime > 0 {
+		s.WorkerUtilization = float64(m.busy) / (float64(uptime) * float64(workers))
+	}
+	return s
+}

@@ -1,0 +1,190 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/trace"
+	"repro/internal/vans"
+	"repro/internal/workload"
+)
+
+// Result is the deterministic output of one job run. It contains only
+// simulation-domain quantities (cycles, counters) — never wall-clock times —
+// so identical jobs produce byte-identical results on any worker. That
+// property is what makes the result cache sound; the determinism regression
+// test pins it.
+type Result struct {
+	Hash          string        `json:"hash"`
+	Accesses      int           `json:"accesses"`
+	BytesMoved    uint64        `json:"bytes_moved"`
+	ElapsedCycles uint64        `json:"elapsed_cycles"`
+	DrainCycles   uint64        `json:"drain_cycles"`
+	ElapsedNs     float64       `json:"elapsed_ns"`
+	DrainNs       float64       `json:"drain_ns"`
+	AvgLatencyNs  float64       `json:"avg_latency_ns"`
+	BandwidthGBs  float64       `json:"bandwidth_gbs"`
+	Vans          vans.Snapshot `json:"vans"`
+}
+
+// Canonical returns the canonical JSON encoding used for byte-identity
+// comparisons across workers.
+func (r *Result) Canonical() []byte {
+	b, err := json.Marshal(r)
+	if err != nil {
+		panic("server: marshaling result: " + err.Error())
+	}
+	return b
+}
+
+// Runner executes jobs. Each scheduler worker owns exactly one Runner, and a
+// Runner builds a fresh sim.Engine + vans.System per job: the simulation
+// substrate is single-threaded by design and is never shared across
+// goroutines, so concurrent jobs are fully isolated and every run is
+// deterministic under its plan.
+type Runner struct {
+	// checkEvery is how many submissions pass between context polls
+	// (exported knob for tests; 0 uses a default that keeps cancellation
+	// latency well under a millisecond of host time).
+	checkEvery int
+}
+
+// NewRunner returns a Runner with default settings.
+func NewRunner() *Runner { return &Runner{} }
+
+// Run executes the plan to completion or until ctx is done. The returned
+// result is independent of which Runner executed it.
+func (rn *Runner) Run(ctx context.Context, p *Plan) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	accs, window, err := buildAccesses(p)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(accs) == 0 {
+		return nil, fmt.Errorf("server: workload produced no accesses")
+	}
+
+	sys := vans.New(p.VansConfig())
+	d := mem.NewDriver(sys)
+	every := rn.checkEvery
+	if every == 0 {
+		every = 1024
+	}
+	n := 0
+	keepGoing := func() bool {
+		n++
+		if n%every != 0 {
+			return true
+		}
+		return ctx.Err() == nil
+	}
+	elapsed, ok := d.RunWindowChecked(accs, window, keepGoing)
+	if !ok {
+		return nil, ctx.Err()
+	}
+	fenceStart := sys.Engine().Now()
+	d.Fence()
+	drain := sys.Engine().Now() - fenceStart
+
+	var bytesMoved uint64
+	for _, a := range accs {
+		sz := uint64(a.Size)
+		if sz == 0 {
+			sz = mem.CacheLine
+		}
+		bytesMoved += sz
+	}
+	res := &Result{
+		Hash:          p.Hash(),
+		Accesses:      len(accs),
+		BytesMoved:    bytesMoved,
+		ElapsedCycles: uint64(elapsed),
+		DrainCycles:   uint64(drain),
+		ElapsedNs:     mem.ToNs(sys, elapsed),
+		DrainNs:       mem.ToNs(sys, drain),
+		AvgLatencyNs:  mem.ToNs(sys, elapsed) / float64(len(accs)),
+		BandwidthGBs:  mem.BandwidthGBs(sys, bytesMoved, elapsed+drain),
+		Vans:          sys.Snapshot(),
+	}
+	return res, nil
+}
+
+// RunSpec compiles and executes spec synchronously on the calling
+// goroutine. It is the single-shot entry point shared by cmd/vans and the
+// tests that compare daemon output against single-threaded replay.
+func RunSpec(ctx context.Context, spec JobSpec) (*Result, error) {
+	p, err := spec.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return NewRunner().Run(ctx, p)
+}
+
+// buildAccesses materializes the plan's access stream and the replay window.
+func buildAccesses(p *Plan) ([]mem.Access, int, error) {
+	switch p.Kind {
+	case KindChase:
+		// A chase is a dependent chain: window forced to 1.
+		return workload.ChaseAccesses(p.Region, p.MaxSteps, p.Seed), 1, nil
+	case KindSeq:
+		return workload.SeqAccesses(p.Bytes, seqOp(p.Op)), p.Window, nil
+	case KindTrace:
+		accs, err := trace.ReadAccesses(strings.NewReader(p.Trace))
+		if err != nil {
+			return nil, 0, err
+		}
+		return accs, p.Window, nil
+	case KindCloud:
+		return captureCloud(p), p.Window, nil
+	default:
+		return nil, 0, fmt.Errorf("server: unknown workload kind %q", p.Kind)
+	}
+}
+
+func seqOp(name string) mem.Op {
+	switch name {
+	case "store":
+		return mem.OpWrite
+	case "store-nt":
+		return mem.OpWriteNT
+	default:
+		return mem.OpRead
+	}
+}
+
+// captureCloud replays a named workload through the CPU substrate over a
+// capture system, recording the post-cache memory trace (the tracegen flow),
+// and returns it as a driver stream for the job's own system.
+func captureCloud(p *Plan) []mem.Access {
+	capCfg := vans.DefaultConfig()
+	capCfg.NV.Media.Capacity = 256 << 20
+	col := trace.NewCollector(vans.New(capCfg))
+	core := cpu.New(cpu.DefaultConfig(), col)
+
+	var w cpu.Workload
+	if b, ok := workload.SPECBenchByName(p.Name); ok {
+		b.FootprintMB = float64(p.Footprint) / (1 << 20)
+		w = workload.SPEC(b, p.Instructions, p.Seed)
+	} else {
+		w = workload.Cloud(p.Name, workload.CloudOptions{
+			Instructions: p.Instructions,
+			Seed:         p.Seed,
+			Footprint:    p.Footprint,
+		})
+	}
+	core.Run(w)
+	accs := make([]mem.Access, len(col.Records))
+	for i, rec := range col.Records {
+		accs[i] = rec.Access()
+	}
+	return accs
+}

@@ -1,0 +1,339 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Submission errors. The HTTP layer maps both to 503 Service Unavailable.
+var (
+	// ErrQueueFull reports that the bounded job queue has no space.
+	ErrQueueFull = errors.New("server: job queue full")
+	// ErrDraining reports that the server is shutting down.
+	ErrDraining = errors.New("server: draining, not accepting jobs")
+)
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+// Job lifecycle states.
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// Job is one tracked submission. Mutable fields are guarded by the server's
+// registry lock; read them through Status / Result / Wait.
+type Job struct {
+	id        string
+	hash      string
+	plan      *Plan
+	state     JobState
+	err       string
+	cached    bool
+	result    *Result
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	done      chan struct{}
+}
+
+// JobStatus is the JSON view of a job's lifecycle.
+type JobStatus struct {
+	ID       string   `json:"id"`
+	Hash     string   `json:"hash"`
+	State    JobState `json:"state"`
+	Cached   bool     `json:"cached,omitempty"`
+	Error    string   `json:"error,omitempty"`
+	QueuedMs float64  `json:"queued_ms"`
+	RunMs    float64  `json:"run_ms"`
+}
+
+// Options configures a Server. Zero fields take defaults.
+type Options struct {
+	// Workers is the pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the FIFO job queue (default 64).
+	QueueDepth int
+	// CacheEntries sizes the LRU result cache (default 256; negative
+	// disables caching).
+	CacheEntries int
+	// JobTimeout bounds each job's execution (default 60s).
+	JobTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 64
+	}
+	if o.QueueDepth < 1 {
+		o.QueueDepth = 1
+	}
+	if o.CacheEntries == 0 {
+		o.CacheEntries = 256
+	}
+	if o.CacheEntries < 0 {
+		o.CacheEntries = 0
+	}
+	if o.JobTimeout <= 0 {
+		o.JobTimeout = 60 * time.Second
+	}
+	return o
+}
+
+// Server is the nvmserved core: a bounded FIFO queue feeding a fixed worker
+// pool, a job registry, an LRU result cache, and service metrics. Create one
+// with New and stop it with Shutdown.
+type Server struct {
+	opts    Options
+	metrics *Metrics
+	cache   *resultCache
+
+	queue     chan *Job
+	wg        sync.WaitGroup
+	runCtx    context.Context
+	runCancel context.CancelFunc
+	busy      atomic.Int32
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	nextID   uint64
+	draining bool
+}
+
+// New starts a Server with opts.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:      opts,
+		metrics:   newMetrics(),
+		cache:     newResultCache(opts.CacheEntries),
+		queue:     make(chan *Job, opts.QueueDepth),
+		runCtx:    ctx,
+		runCancel: cancel,
+		jobs:      make(map[string]*Job),
+	}
+	s.wg.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Options returns the effective (defaulted) options.
+func (s *Server) Options() Options { return s.opts }
+
+// Submit validates and enqueues a job. A submission whose hash is resident
+// in the result cache completes immediately without queueing. The returned
+// status is a snapshot; poll with Status or block with Wait.
+func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
+	p, err := spec.Compile()
+	if err != nil {
+		return JobStatus{}, err
+	}
+	j := &Job{
+		hash:      p.Hash(),
+		plan:      p,
+		state:     JobQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.metrics.rejectDraining()
+		return JobStatus{}, ErrDraining
+	}
+	s.nextID++
+	j.id = fmt.Sprintf("j%06d", s.nextID)
+	if res, ok := s.cache.Get(j.hash); ok {
+		now := time.Now()
+		j.state, j.result, j.cached = JobDone, res, true
+		j.started, j.finished = now, now
+		close(j.done)
+		s.jobs[j.id] = j
+		st := j.statusLocked()
+		s.mu.Unlock()
+		s.metrics.jobAccepted()
+		s.metrics.cacheHit()
+		return st, nil
+	}
+	select {
+	case s.queue <- j:
+		s.jobs[j.id] = j
+		st := j.statusLocked()
+		s.mu.Unlock()
+		s.metrics.jobAccepted()
+		s.metrics.cacheMiss()
+		return st, nil
+	default:
+		s.mu.Unlock()
+		s.metrics.rejectFull()
+		return JobStatus{}, ErrQueueFull
+	}
+}
+
+// worker drains the queue until it closes. Each worker owns one Runner, so
+// every job executes on an isolated engine + system.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	rn := NewRunner()
+	for j := range s.queue {
+		s.runJob(rn, j)
+	}
+}
+
+func (s *Server) runJob(rn *Runner, j *Job) {
+	s.mu.Lock()
+	j.state = JobRunning
+	j.started = time.Now()
+	s.mu.Unlock()
+
+	s.busy.Add(1)
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(s.runCtx, s.opts.JobTimeout)
+	res, err := rn.Run(ctx, j.plan)
+	cancel()
+	wall := time.Since(start)
+	s.busy.Add(-1)
+	s.metrics.workerBusy(wall)
+
+	s.mu.Lock()
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = JobDone
+		j.result = res
+		s.cache.Put(j.hash, res)
+		s.metrics.jobCompleted(wall)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.state = JobCanceled
+		j.err = err.Error()
+		s.metrics.jobCanceled()
+	default:
+		j.state = JobFailed
+		j.err = err.Error()
+		s.metrics.jobFailed()
+	}
+	close(j.done)
+	s.mu.Unlock()
+}
+
+// statusLocked builds the status view; the caller holds s.mu.
+func (j *Job) statusLocked() JobStatus {
+	st := JobStatus{ID: j.id, Hash: j.hash, State: j.state, Cached: j.cached, Error: j.err}
+	switch j.state {
+	case JobQueued:
+		st.QueuedMs = float64(time.Since(j.submitted)) / float64(time.Millisecond)
+	case JobRunning:
+		st.QueuedMs = float64(j.started.Sub(j.submitted)) / float64(time.Millisecond)
+		st.RunMs = float64(time.Since(j.started)) / float64(time.Millisecond)
+	default:
+		st.QueuedMs = float64(j.started.Sub(j.submitted)) / float64(time.Millisecond)
+		st.RunMs = float64(j.finished.Sub(j.started)) / float64(time.Millisecond)
+	}
+	return st
+}
+
+// Status returns a job's current lifecycle snapshot.
+func (s *Server) Status(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.statusLocked(), true
+}
+
+// Result returns a job's result (nil unless state is done) and its status.
+func (s *Server) Result(id string) (*Result, JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, JobStatus{}, false
+	}
+	return j.result, j.statusLocked(), true
+}
+
+// Wait blocks until job id completes (any terminal state) or ctx ends.
+func (s *Server) Wait(ctx context.Context, id string) (JobStatus, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, fmt.Errorf("server: unknown job %q", id)
+	}
+	select {
+	case <-j.done:
+		st, _ := s.Status(id)
+		return st, nil
+	case <-ctx.Done():
+		return JobStatus{}, ctx.Err()
+	}
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// MetricsSnapshot returns the current service metrics.
+func (s *Server) MetricsSnapshot() MetricsSnapshot {
+	return s.metrics.snapshot(s.opts.Workers, int(s.busy.Load()),
+		len(s.queue), s.opts.QueueDepth, s.cache.Len())
+}
+
+// Shutdown drains the server: new submissions are rejected with ErrDraining,
+// queued and running jobs are given drainTimeout to finish, and any still
+// running after that are canceled and awaited. It reports whether the drain
+// completed without forced cancellation. Shutdown is idempotent; concurrent
+// calls all block until the pool exits.
+func (s *Server) Shutdown(drainTimeout time.Duration) bool {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	if !already {
+		// Submissions send on s.queue only while holding s.mu with
+		// draining false, so this close cannot race a send.
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	clean := true
+	timer := time.NewTimer(drainTimeout)
+	defer timer.Stop()
+	select {
+	case <-done:
+	case <-timer.C:
+		clean = false
+		s.runCancel()
+		<-done
+	}
+	s.runCancel()
+	return clean
+}

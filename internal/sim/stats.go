@@ -135,6 +135,30 @@ func (a *Accumulator) String() string {
 		a.N(), a.Mean(), a.Std(), a.Min(), a.Percentile(50), a.Percentile(99), a.Max())
 }
 
+// Summary is a compact snapshot of a distribution: the shape served by the
+// nvmserved metrics endpoint and reused anywhere a full Accumulator would be
+// too heavy to ship (it marshals to flat JSON).
+type Summary struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+// Summarize returns the accumulator's distribution summary.
+func (a *Accumulator) Summarize() Summary {
+	return Summary{
+		N:    a.N(),
+		Mean: a.Mean(),
+		P50:  a.Percentile(50),
+		P95:  a.Percentile(95),
+		P99:  a.Percentile(99),
+		Max:  a.Max(),
+	}
+}
+
 // Geomean returns the geometric mean of xs, ignoring non-positive values.
 // It returns 0 when no positive values exist.
 func Geomean(xs []float64) float64 {

@@ -128,6 +128,21 @@ func (tr *Reader) Read() (Record, error) {
 	return Record{}, io.EOF
 }
 
+// ReadAccesses parses an entire text-format trace from r into driver
+// accesses, dropping timestamps. This is the common replay entry point of
+// cmd/vans and nvmserved inline-trace jobs.
+func ReadAccesses(r io.Reader) ([]mem.Access, error) {
+	recs, err := NewReader(r).ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	accs := make([]mem.Access, len(recs))
+	for i, rec := range recs {
+		accs[i] = rec.Access()
+	}
+	return accs, nil
+}
+
 // ReadAll collects every remaining record.
 func (tr *Reader) ReadAll() ([]Record, error) {
 	var recs []Record

@@ -1,0 +1,57 @@
+// Package units parses human-friendly byte sizes ("64", "4K", "16M", "2GiB").
+// It is the single size-suffix parser shared by the CLI tools (cmd/vans,
+// cmd/tracegen) and the nvmserved job API, replacing the per-command copies.
+package units
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParseBytes parses a byte size: an unsigned integer with an optional
+// binary-scale suffix K, M, G, or T (case-insensitive), each optionally
+// followed by "B" or "iB" ("4K" == "4KB" == "4KiB" == 4096). A bare "B"
+// suffix is also accepted ("64B" == 64).
+func ParseBytes(s string) (uint64, error) {
+	t := strings.ToUpper(strings.TrimSpace(s))
+	i := 0
+	for i < len(t) && t[i] >= '0' && t[i] <= '9' {
+		i++
+	}
+	if i == 0 {
+		return 0, fmt.Errorf("units: size %q has no leading number", s)
+	}
+	v, err := strconv.ParseUint(t[:i], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: bad number in size %q: %v", s, err)
+	}
+	var mult uint64
+	switch t[i:] {
+	case "", "B":
+		mult = 1
+	case "K", "KB", "KIB":
+		mult = 1 << 10
+	case "M", "MB", "MIB":
+		mult = 1 << 20
+	case "G", "GB", "GIB":
+		mult = 1 << 30
+	case "T", "TB", "TIB":
+		mult = 1 << 40
+	default:
+		return 0, fmt.Errorf("units: unknown size suffix %q in %q", t[i:], s)
+	}
+	if mult > 1 && v > math.MaxUint64/mult {
+		return 0, fmt.Errorf("units: size %q overflows uint64", s)
+	}
+	return v * mult, nil
+}
+
+// ParseBytesDefault parses s, substituting def for the empty string.
+func ParseBytesDefault(s string, def uint64) (uint64, error) {
+	if strings.TrimSpace(s) == "" {
+		return def, nil
+	}
+	return ParseBytes(s)
+}

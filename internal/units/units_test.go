@@ -1,0 +1,54 @@
+package units
+
+import "testing"
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint64
+	}{
+		{"0", 0},
+		{"64", 64},
+		{"64B", 64},
+		{"1K", 1 << 10},
+		{"1k", 1 << 10},
+		{"4KB", 4 << 10},
+		{"4KiB", 4 << 10},
+		{"16M", 16 << 20},
+		{"16MiB", 16 << 20},
+		{"2G", 2 << 30},
+		{"2gb", 2 << 30},
+		{"1T", 1 << 40},
+		{" 8M ", 8 << 20},
+	}
+	for _, c := range cases {
+		got, err := ParseBytes(c.in)
+		if err != nil {
+			t.Errorf("ParseBytes(%q): unexpected error %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseBytes(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseBytesErrors(t *testing.T) {
+	for _, in := range []string{"", "K", "B", "12X", "1KK", "-4K", "1.5M", "999999999999999999999", "20000000000G"} {
+		if v, err := ParseBytes(in); err == nil {
+			t.Errorf("ParseBytes(%q) = %d, want error", in, v)
+		}
+	}
+}
+
+func TestParseBytesDefault(t *testing.T) {
+	if v, err := ParseBytesDefault("", 42); err != nil || v != 42 {
+		t.Errorf("ParseBytesDefault(\"\", 42) = %d, %v; want 42, nil", v, err)
+	}
+	if v, err := ParseBytesDefault("2K", 42); err != nil || v != 2048 {
+		t.Errorf("ParseBytesDefault(\"2K\", 42) = %d, %v; want 2048, nil", v, err)
+	}
+	if _, err := ParseBytesDefault("junk", 42); err == nil {
+		t.Error("ParseBytesDefault(\"junk\", 42): want error")
+	}
+}

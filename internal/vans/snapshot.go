@@ -1,0 +1,56 @@
+package vans
+
+// DIMMSnapshot is one DIMM's counter snapshot in exported, JSON-stable form.
+// It is the per-DIMM block of a System Snapshot, consumed by cmd/vans output
+// and the nvmserved result payload.
+type DIMMSnapshot struct {
+	ClientReads   uint64 `json:"client_reads"`
+	ClientWrites  uint64 `json:"client_writes"`
+	LSQForwards   uint64 `json:"lsq_forwards"`
+	LSQMerges     uint64 `json:"lsq_merges"`
+	RMWHits       uint64 `json:"rmw_hits"`
+	RMWMisses     uint64 `json:"rmw_misses"`
+	AITHits       uint64 `json:"ait_hits"`
+	AITLineMiss   uint64 `json:"ait_line_miss"`
+	AITSectorMiss uint64 `json:"ait_sector_miss"`
+	MediaReads    uint64 `json:"media_reads"`
+	MediaWrites   uint64 `json:"media_writes"`
+	Migrations    uint64 `json:"migrations"`
+}
+
+// Snapshot aggregates the whole system's counters at a point in time.
+type Snapshot struct {
+	DIMMs       []DIMMSnapshot `json:"dimms"`
+	MediaReads  uint64         `json:"media_reads"`
+	MediaWrites uint64         `json:"media_writes"`
+	Migrations  uint64         `json:"migrations"`
+}
+
+// Snapshot captures the current per-DIMM and aggregate counters. The result
+// is deterministic for a deterministic run: it contains only simulation-
+// domain quantities, never wall-clock state.
+func (s *System) Snapshot() Snapshot {
+	var snap Snapshot
+	for _, d := range s.dimms {
+		st := d.Stats()
+		ms := d.Media().Stats()
+		snap.DIMMs = append(snap.DIMMs, DIMMSnapshot{
+			ClientReads:   st.ClientReads,
+			ClientWrites:  st.ClientWrites,
+			LSQForwards:   st.LSQForwards,
+			LSQMerges:     st.LSQMerges,
+			RMWHits:       st.RMWHits,
+			RMWMisses:     st.RMWMisses,
+			AITHits:       st.AITHits,
+			AITLineMiss:   st.AITLineMiss,
+			AITSectorMiss: st.AITSectorMis,
+			MediaReads:    ms.Reads,
+			MediaWrites:   ms.Writes,
+			Migrations:    st.Migrations,
+		})
+		snap.MediaReads += ms.Reads
+		snap.MediaWrites += ms.Writes
+		snap.Migrations += st.Migrations
+	}
+	return snap
+}
