@@ -1,10 +1,23 @@
 GO ?= go
 
-.PHONY: ci build vet test race fmt-check fmt
+.PHONY: ci build vet test race fmt-check fmt fuzz-smoke fuzz
 
 # ci is the gate: vet, build, the full suite under the race detector
-# (including the nvmserved integration tests), and a gofmt check.
-ci: vet build race fmt-check
+# (including the nvmserved integration tests and the randomized ADR
+# crash-consistency property test), a short fuzz smoke per target, and a
+# gofmt check.
+ci: vet build race fuzz-smoke fmt-check
+
+# fuzz-smoke runs each fuzz target briefly off the checked-in seed corpus —
+# enough to catch parser/validator regressions without stalling the gate.
+fuzz-smoke:
+	$(GO) test ./internal/units/ -run '^$$' -fuzz=FuzzParseSize -fuzztime=5s
+	$(GO) test ./internal/server/ -run '^$$' -fuzz=FuzzJobSpec -fuzztime=5s
+
+# fuzz digs longer; run it when touching the parsers or the job model.
+fuzz:
+	$(GO) test ./internal/units/ -run '^$$' -fuzz=FuzzParseSize -fuzztime=2m
+	$(GO) test ./internal/server/ -run '^$$' -fuzz=FuzzJobSpec -fuzztime=2m
 
 build:
 	$(GO) build ./...

@@ -7,6 +7,8 @@
 //
 //	nvmserved [-addr :8077] [-workers N] [-queue 64] [-cache 256]
 //	          [-job-timeout 60s] [-drain-timeout 30s]
+//	          [-max-retries 2] [-retry-base 10ms] [-retry-max 500ms]
+//	          [-breaker-threshold 5] [-breaker-cooldown 5s]
 //
 // See README.md "Running as a service" for the API and curl examples.
 package main
@@ -33,14 +35,24 @@ func main() {
 		cache        = flag.Int("cache", 256, "result cache entries (negative disables)")
 		jobTimeout   = flag.Duration("job-timeout", 60*time.Second, "per-job execution timeout")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain budget")
+		maxRetries   = flag.Int("max-retries", 2, "retries for transient injected faults (negative disables)")
+		retryBase    = flag.Duration("retry-base", 10*time.Millisecond, "first retry backoff (doubles per retry, with jitter)")
+		retryMax     = flag.Duration("retry-max", 500*time.Millisecond, "retry backoff cap")
+		brkThreshold = flag.Int("breaker-threshold", 5, "consecutive engine failures that open the circuit breaker (negative disables)")
+		brkCooldown  = flag.Duration("breaker-cooldown", 5*time.Second, "how long the breaker stays open before probing")
 	)
 	flag.Parse()
 
 	srv := server.New(server.Options{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheEntries: *cache,
-		JobTimeout:   *jobTimeout,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheEntries:     *cache,
+		JobTimeout:       *jobTimeout,
+		MaxRetries:       *maxRetries,
+		RetryBaseDelay:   *retryBase,
+		RetryMaxDelay:    *retryMax,
+		BreakerThreshold: *brkThreshold,
+		BreakerCooldown:  *brkCooldown,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -8,6 +8,7 @@
 //	vans -trace accesses.txt [-dimms 6 -interleaved]
 //	vans -pattern chase -region 1M
 //	vans -pattern seq -bytes 1M -op store-nt -json
+//	vans -pattern seq -op store-nt -fault '{"power_fail_cycle":4000}' -json
 package main
 
 import (
@@ -16,7 +17,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"repro/internal/fault"
 	"repro/internal/server"
 )
 
@@ -37,6 +40,7 @@ func main() {
 		window      = flag.Int("window", 10, "outstanding requests")
 		seed        = flag.Uint64("seed", 1, "workload seed")
 		jsonOut     = flag.Bool("json", false, "print the result as JSON (the nvmserved payload)")
+		faultJSON   = flag.String("fault", "", `fault spec as JSON, e.g. '{"poison_rate":0.01}' or '{"power_fail_cycle":4000}'`)
 	)
 	flag.Parse()
 
@@ -44,6 +48,15 @@ func main() {
 		Config: server.ConfigSpec{DIMMs: *dimms, Interleaved: *interleaved},
 		Window: *window,
 		Seed:   *seed,
+	}
+	if *faultJSON != "" {
+		var fs fault.Spec
+		dec := json.NewDecoder(strings.NewReader(*faultJSON))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&fs); err != nil {
+			fatalf(2, "vans: -fault: %v", err)
+		}
+		spec.Fault = &fs
 	}
 	switch {
 	case *traceFile != "":
@@ -74,6 +87,22 @@ func main() {
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(res); err != nil {
 			fatalf(1, "%v", err)
+		}
+		return
+	}
+
+	if res.Crash != nil {
+		c := res.Crash
+		fmt.Printf("power fail at cycle %d (run ends at %d)\n", c.CutCycle, c.EndCycle)
+		fmt.Printf("writes:          %d accepted (durable), %d lost with power\n", c.AcceptedWrites, c.LostWrites)
+		fmt.Printf("durable lines:   %d\n", c.DurableLines)
+		if c.Consistent {
+			fmt.Println("crash check:     CONSISTENT (recovered image matches the ADR contract)")
+		} else {
+			fmt.Printf("crash check:     INCONSISTENT (%d mismatches)\n", len(c.Mismatches))
+			for _, m := range c.Mismatches {
+				fmt.Printf("  line 0x%x: %s (%s)\n", m.Line, m.Kind, m.Detail)
+			}
 		}
 		return
 	}

@@ -1,0 +1,216 @@
+// Package fault is the deterministic, seed-driven fault-injection layer of
+// the simulator. It defines the client-facing fault Spec (part of the
+// nvmserved job spec and its canonical cache hash), the typed errors that
+// injected faults surface as, the Injector the timing models consult at
+// their injection points, and the replay ledger behind the crash-consistency
+// checker.
+//
+// Every injected decision is a pure function of (spec, attempt, engine event
+// order): the injector draws from explicitly seeded RNG streams and the
+// event engine is single-threaded, so a seeded fault spec reproduces
+// byte-identical results across runs and workers.
+//
+// Fault classes:
+//
+//   - Uncorrectable media read errors ("poison"): a demand 3D-XPoint read
+//     returns a *MediaError instead of data. The error propagates up the
+//     hierarchy (media -> nvdimm -> imc -> mem.Request.Err) as a typed
+//     error, never a panic. The transient class clears on retry; the
+//     permanent class recurs on every attempt.
+//   - AIT/RMW stall spikes: the AIT lookup path is charged an extra fixed
+//     latency with a seeded probability, modeling controller hiccups
+//     (thermal throttling, internal maintenance).
+//   - Power failure: the run is cut at an arbitrary cycle; everything
+//     outside the ADR domain is lost. See RunToCut and Ledger.
+//   - Injected engine crash: a panic raised at the Nth access, a chaos
+//     knob for exercising nvmserved's worker panic recovery.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dram"
+	"repro/internal/sim"
+)
+
+// Spec is the serializable fault-injection specification carried by a job.
+// The zero value injects nothing. Spec is part of the nvmserved Plan and
+// therefore of the canonical job hash: faulty runs are cacheable and
+// reproducible like any other job.
+type Spec struct {
+	// Seed drives every injection decision (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+
+	// PoisonRate is the per-demand-media-read probability of an
+	// uncorrectable read error, in [0,1].
+	PoisonRate float64 `json:"poison_rate,omitempty"`
+	// PoisonTransient selects the transient fault class: the poison clears
+	// on retry (the injector fires it only on the first attempt), so
+	// nvmserved's retry policy deterministically recovers the job.
+	PoisonTransient bool `json:"poison_transient,omitempty"`
+
+	// StallRate is the per-AIT-lookup probability of a stall spike, in [0,1].
+	StallRate float64 `json:"stall_rate,omitempty"`
+	// StallNs is the duration of one injected stall (default 10000ns when
+	// StallRate is set).
+	StallNs float64 `json:"stall_ns,omitempty"`
+
+	// PowerFailCycle, when nonzero, cuts power at that engine cycle: the
+	// run stops, all non-ADR state is lost, and the crash-consistency
+	// checker verifies recovery (App Direct mode only).
+	PowerFailCycle uint64 `json:"power_fail_cycle,omitempty"`
+
+	// CrashAccess, when nonzero, panics the simulation engine at the Nth
+	// access — a chaos-engineering knob for drilling the service's worker
+	// panic recovery and circuit breaker.
+	CrashAccess uint64 `json:"crash_access,omitempty"`
+}
+
+// maxStallNs bounds one injected stall (1ms of simulated time).
+const maxStallNs = 1e6
+
+// Enabled reports whether the spec injects anything at all.
+func (s *Spec) Enabled() bool {
+	if s == nil {
+		return false
+	}
+	return s.PoisonRate > 0 || s.StallRate > 0 || s.PowerFailCycle > 0 || s.CrashAccess > 0
+}
+
+// Validate rejects malformed specs with client-error messages.
+func (s *Spec) Validate() error {
+	if s == nil {
+		return nil
+	}
+	if math.IsNaN(s.PoisonRate) || s.PoisonRate < 0 || s.PoisonRate > 1 {
+		return fmt.Errorf("fault.poison_rate %v out of range [0,1]", s.PoisonRate)
+	}
+	if math.IsNaN(s.StallRate) || s.StallRate < 0 || s.StallRate > 1 {
+		return fmt.Errorf("fault.stall_rate %v out of range [0,1]", s.StallRate)
+	}
+	if math.IsNaN(s.StallNs) || s.StallNs < 0 || s.StallNs > maxStallNs {
+		return fmt.Errorf("fault.stall_ns %v out of range [0,%g]", s.StallNs, float64(maxStallNs))
+	}
+	return nil
+}
+
+// MediaError is an uncorrectable media read error: the 3D-XPoint block at
+// Addr could not be read. It is the typed error injected poison surfaces as,
+// all the way up to the driver and the job result.
+type MediaError struct {
+	// Addr is the poisoned media (post-translation) block address.
+	Addr uint64
+	// Transient marks the retryable fault class.
+	Transient bool
+}
+
+// Error implements error.
+func (e *MediaError) Error() string {
+	class := "uncorrectable"
+	if e.Transient {
+		class = "transient"
+	}
+	return fmt.Sprintf("fault: %s media read error at media address 0x%x", class, e.Addr)
+}
+
+// IsMediaError reports whether err wraps a *MediaError.
+func IsMediaError(err error) bool {
+	var me *MediaError
+	return errors.As(err, &me)
+}
+
+// IsTransient reports whether err is a retryable injected fault: retrying
+// the job (the injector re-seeded with the next attempt number) clears it.
+func IsTransient(err error) bool {
+	var me *MediaError
+	return errors.As(err, &me) && me.Transient
+}
+
+// Injector makes the seeded injection decisions for one run attempt. The
+// timing models hold one injector per system and consult it at their
+// injection points; a nil *Injector injects nothing, so models thread it
+// unconditionally. Injector is not safe for concurrent use — it belongs to
+// a single-threaded engine, like every other model component.
+type Injector struct {
+	spec     Spec
+	poison   *sim.RNG
+	stall    *sim.RNG
+	stallCyc sim.Cycle
+	// poisonOff disables the poison stream (transient class past attempt 0).
+	poisonOff bool
+
+	injectedPoison uint64
+	injectedStalls uint64
+}
+
+// NewInjector builds the injector for one attempt of a run. Attempt 0 is the
+// first try; transient poison fires only there, so a retry deterministically
+// succeeds. Permanent poison and stall decisions ignore the attempt number
+// and replay identically on every attempt.
+func NewInjector(spec Spec, attempt int) *Injector {
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	stallNs := spec.StallNs
+	if stallNs == 0 && spec.StallRate > 0 {
+		stallNs = 10000
+	}
+	return &Injector{
+		spec:      spec,
+		poison:    sim.NewRNG(seed ^ 0xb0150ed0b0150ed),  // poison stream
+		stall:     sim.NewRNG(seed ^ 0x57a11575a1157a57), // stall stream
+		stallCyc:  dram.NsToCycles(stallNs),
+		poisonOff: spec.PoisonTransient && attempt > 0,
+	}
+}
+
+// ReadPoison decides whether the demand media read at mediaAddr is
+// uncorrectable. It returns nil (no fault) or a *MediaError.
+func (i *Injector) ReadPoison(mediaAddr uint64) error {
+	if i == nil || i.spec.PoisonRate <= 0 || i.poisonOff {
+		return nil
+	}
+	if i.poison.Float64() >= i.spec.PoisonRate {
+		return nil
+	}
+	i.injectedPoison++
+	return &MediaError{Addr: mediaAddr, Transient: i.spec.PoisonTransient}
+}
+
+// AITStall returns the extra cycles to charge the current AIT lookup
+// (0 almost always; a stall spike with probability StallRate).
+func (i *Injector) AITStall() sim.Cycle {
+	if i == nil || i.spec.StallRate <= 0 || i.stallCyc == 0 {
+		return 0
+	}
+	if i.stall.Float64() >= i.spec.StallRate {
+		return 0
+	}
+	i.injectedStalls++
+	return i.stallCyc
+}
+
+// InjectedPoison returns how many reads this injector poisoned.
+func (i *Injector) InjectedPoison() uint64 {
+	if i == nil {
+		return 0
+	}
+	return i.injectedPoison
+}
+
+// InjectedStalls returns how many stall spikes this injector fired.
+func (i *Injector) InjectedStalls() uint64 {
+	if i == nil {
+		return 0
+	}
+	return i.injectedStalls
+}
+
+// CrashPanicMsg formats the panic value used by injected engine crashes, so
+// tests and log triage can recognize chaos-injected panics.
+func CrashPanicMsg(access uint64) string {
+	return fmt.Sprintf("fault: injected engine crash at access %d", access)
+}

@@ -1,0 +1,110 @@
+package fault
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSpecEnabledAndValidate(t *testing.T) {
+	var nilSpec *Spec
+	if nilSpec.Enabled() {
+		t.Fatal("nil spec enabled")
+	}
+	if err := nilSpec.Validate(); err != nil {
+		t.Fatalf("nil spec invalid: %v", err)
+	}
+	zero := Spec{}
+	if zero.Enabled() {
+		t.Fatal("zero spec enabled")
+	}
+	on := Spec{PoisonRate: 0.1}
+	if !on.Enabled() {
+		t.Fatal("poison spec not enabled")
+	}
+	for _, bad := range []Spec{
+		{PoisonRate: -0.1},
+		{PoisonRate: 1.5},
+		{StallRate: 2},
+		{StallNs: -1},
+		{StallNs: 1e9},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("spec %+v validated", bad)
+		}
+	}
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	spec := Spec{Seed: 42, PoisonRate: 0.3, StallRate: 0.2}
+	a := NewInjector(spec, 0)
+	b := NewInjector(spec, 0)
+	for i := 0; i < 1000; i++ {
+		addr := uint64(i) * 256
+		ea, eb := a.ReadPoison(addr), b.ReadPoison(addr)
+		if (ea == nil) != (eb == nil) {
+			t.Fatalf("poison diverged at draw %d", i)
+		}
+		if a.AITStall() != b.AITStall() {
+			t.Fatalf("stall diverged at draw %d", i)
+		}
+	}
+	if a.InjectedPoison() == 0 || a.InjectedStalls() == 0 {
+		t.Fatalf("nothing injected at 30%%/20%% over 1000 draws: poison=%d stalls=%d",
+			a.InjectedPoison(), a.InjectedStalls())
+	}
+}
+
+func TestTransientPoisonClearsOnRetry(t *testing.T) {
+	spec := Spec{Seed: 7, PoisonRate: 1, PoisonTransient: true}
+	first := NewInjector(spec, 0)
+	if err := first.ReadPoison(0); err == nil {
+		t.Fatal("attempt 0 not poisoned at rate 1")
+	} else if !IsTransient(err) {
+		t.Fatalf("transient poison not classified transient: %v", err)
+	}
+	retry := NewInjector(spec, 1)
+	if err := retry.ReadPoison(0); err != nil {
+		t.Fatalf("attempt 1 still poisoned: %v", err)
+	}
+
+	perm := NewInjector(Spec{Seed: 7, PoisonRate: 1}, 5)
+	err := perm.ReadPoison(0)
+	if err == nil {
+		t.Fatal("permanent poison cleared by retry")
+	}
+	if IsTransient(err) {
+		t.Fatal("permanent poison classified transient")
+	}
+	if !IsMediaError(err) {
+		t.Fatal("poison not a MediaError")
+	}
+}
+
+func TestNilInjectorInjectsNothing(t *testing.T) {
+	var inj *Injector
+	if err := inj.ReadPoison(0); err != nil {
+		t.Fatal("nil injector poisoned")
+	}
+	if inj.AITStall() != 0 {
+		t.Fatal("nil injector stalled")
+	}
+	if inj.InjectedPoison() != 0 || inj.InjectedStalls() != 0 {
+		t.Fatal("nil injector counted")
+	}
+}
+
+func TestPayloadDeterministicAndUnique(t *testing.T) {
+	a := Payload(1, 0, 0, 64)
+	b := Payload(1, 0, 0, 64)
+	if !bytes.Equal(a, b) {
+		t.Fatal("payload not deterministic")
+	}
+	c := Payload(1, 1, 0, 64)
+	if bytes.Equal(a, c) {
+		t.Fatal("distinct write indices share a payload")
+	}
+	d := Payload(2, 0, 0, 64)
+	if bytes.Equal(a, d) {
+		t.Fatal("distinct seeds share a payload")
+	}
+}

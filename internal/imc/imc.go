@@ -169,9 +169,10 @@ func (m *IMC) Unroute(ch int, local uint64) uint64 {
 	return (span*n+uint64(ch))*g + local%g
 }
 
-// Read issues a 64B read; done fires when data arrives at the iMC. It
-// reports false when the channel's RPQ is full.
-func (m *IMC) Read(addr uint64, done func()) bool {
+// Read issues a 64B read; done fires when data arrives at the iMC, carrying
+// a non-nil error when the DIMM reported an uncorrectable media read
+// (poison). It reports false when the channel's RPQ is full.
+func (m *IMC) Read(addr uint64, done func(error)) bool {
 	ch, local := m.Route(addr)
 	return m.channels[ch].read(local, done)
 }
@@ -285,7 +286,7 @@ func (ch *Channel) busy() bool {
 	return ch.rpqInFlight > 0 || !ch.wpq.Empty() || ch.haveDrain || ch.dimm.Busy()
 }
 
-func (ch *Channel) read(addr uint64, done func()) bool {
+func (ch *Channel) read(addr uint64, done func(error)) bool {
 	if ch.rpqInFlight >= ch.cfg.RPQSlots {
 		return false
 	}
@@ -298,18 +299,20 @@ func (ch *Channel) read(addr uint64, done func()) bool {
 		ch.rpqInFlight++
 		ch.eng.After(ch.readOverCyc/2, func() {
 			ch.rpqInFlight--
-			done()
+			done(nil)
 		})
 		return true
 	}
 	ch.rpqInFlight++
 	start := ch.bus.acquire(ch.eng.Now(), false)
 	ch.eng.Schedule(start+ch.transferCyc+ch.readOverCyc/2, func() {
-		ch.dimm.Read(addr, func() {
+		ch.dimm.Read(addr, func(err error) {
+			// Poison rides the same return transfer as data would: DDR-T
+			// signals the error in-band, so timing is unchanged.
 			ret := ch.bus.acquire(ch.eng.Now(), false)
 			ch.eng.Schedule(ret+ch.transferCyc+ch.readOverCyc/2, func() {
 				ch.rpqInFlight--
-				done()
+				done(err)
 			})
 		})
 	})

@@ -24,7 +24,7 @@ func newIMC(t *testing.T, n int, interleaved bool) (*sim.Engine, *IMC) {
 func TestReadCompletes(t *testing.T) {
 	eng, m := newIMC(t, 1, false)
 	done := false
-	if !m.Read(4096, func() { done = true }) {
+	if !m.Read(4096, func(error) { done = true }) {
 		t.Fatal("read rejected")
 	}
 	eng.Run()
@@ -43,7 +43,7 @@ func TestWriteCompletesAtWPQAccept(t *testing.T) {
 		t.Fatal("write rejected")
 	}
 	var readAt sim.Cycle = sim.Never
-	m.Read(1<<20, func() { readAt = eng.Now() })
+	m.Read(1<<20, func(error) { readAt = eng.Now() })
 	eng.Run()
 	if at == sim.Never || readAt == sim.Never {
 		t.Fatal("operations never completed")
@@ -106,7 +106,7 @@ func TestRPQBoundsOutstandingReads(t *testing.T) {
 	_, m := newIMC(t, 1, false)
 	issued := 0
 	for i := 0; i < 64; i++ {
-		if m.Read(uint64(i)*4096, func() {}) {
+		if m.Read(uint64(i)*4096, func(error) {}) {
 			issued++
 		}
 	}

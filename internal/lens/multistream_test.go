@@ -72,7 +72,7 @@ func TestRandomStreamAccessesInRange(t *testing.T) {
 	// Deterministic per seed.
 	again := RandomStreamAccesses(2, 200, mem.OpWriteNT, 1<<16, 7)
 	for i := range accs {
-		if accs[i] != again[i] {
+		if accs[i].Op != again[i].Op || accs[i].Addr != again[i].Addr || accs[i].Size != again[i].Size {
 			t.Fatal("not deterministic")
 		}
 	}

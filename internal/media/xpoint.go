@@ -290,6 +290,24 @@ func (x *XPoint) ReadData(addr uint64, n int) []byte {
 	return out
 }
 
+// AdoptPersistent transplants the persistent remnants of a powered-off
+// device into this one: the functional data image and the wear counters
+// (which real devices keep in persistent metadata). Decay timestamps are
+// reset to cycle 0 — the adopting device runs on a fresh engine. Volatile
+// timing state (port and partition reservations) is deliberately not
+// carried over; it did not survive the power loss.
+func (x *XPoint) AdoptPersistent(old *XPoint) {
+	for blk, buf := range old.data {
+		cp := make([]byte, len(buf))
+		copy(cp, buf)
+		x.data[blk] = cp
+	}
+	for blk, w := range old.wear {
+		x.wear[blk] = w
+		x.wearAt[blk] = 0
+	}
+}
+
 // CopyBlock moves one media block's functional contents from src to dst
 // (block-aligned); used by wear-leveling migration.
 func (x *XPoint) CopyBlock(src, dst uint64) {

@@ -12,16 +12,44 @@ import (
 type Driver struct {
 	sys    System
 	nextID uint64
+
+	// faults counts completed requests that carried an access fault
+	// (mem.Request.Err, e.g. injected uncorrectable media reads); firstErr
+	// keeps the first such error for reporting.
+	faults   int
+	firstErr error
 }
 
 // NewDriver returns a driver bound to sys.
 func NewDriver(sys System) *Driver { return &Driver{sys: sys} }
+
+// noteDone folds one completed request into the fault accounting.
+func (d *Driver) noteDone(r *Request) {
+	if r.Err != nil {
+		d.faults++
+		if d.firstErr == nil {
+			d.firstErr = r.Err
+		}
+	}
+}
+
+// Err returns the first access fault observed across all runs of this
+// driver (nil when every access succeeded). Faults do not abort a run —
+// the stream completes with its real timing — so callers check Err after
+// the run to decide whether results are trustworthy.
+func (d *Driver) Err() error { return d.firstErr }
+
+// Faults returns the number of faulted accesses observed.
+func (d *Driver) Faults() int { return d.faults }
 
 // Access is one element of a driver stream.
 type Access struct {
 	Op   Op
 	Addr uint64
 	Size uint32
+	// Data optionally carries a functional write payload (crash-consistency
+	// and data-integrity runs). Nil means timing-only.
+	Data []byte
 }
 
 // submitBlocking offers r until accepted, advancing the engine to drain
@@ -48,8 +76,8 @@ func (d *Driver) RunChain(accs []Access) []sim.Cycle {
 	for _, a := range accs {
 		d.nextID++
 		done := false
-		r := &Request{ID: d.nextID, Op: a.Op, Addr: a.Addr, Size: a.Size,
-			OnDone: func(r *Request) { done = true }}
+		r := &Request{ID: d.nextID, Op: a.Op, Addr: a.Addr, Size: a.Size, Data: a.Data,
+			OnDone: func(r *Request) { done = true; d.noteDone(r) }}
 		d.submitBlocking(r)
 		eng.RunWhile(func() bool { return !done })
 		if !done {
@@ -111,8 +139,8 @@ func (d *Driver) RunWindowChecked(accs []Access, window int, keepGoing func() bo
 			}
 		}
 		d.nextID++
-		r := &Request{ID: d.nextID, Op: a.Op, Addr: a.Addr, Size: a.Size,
-			OnDone: func(*Request) { inflight-- }}
+		r := &Request{ID: d.nextID, Op: a.Op, Addr: a.Addr, Size: a.Size, Data: a.Data,
+			OnDone: func(r *Request) { inflight--; d.noteDone(r) }}
 		d.submitBlocking(r)
 		inflight++
 	}

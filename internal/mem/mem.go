@@ -76,6 +76,10 @@ type Request struct {
 	Done sim.Cycle
 	// OnDone, if non-nil, is called exactly once when the request completes.
 	OnDone func(*Request)
+	// Err records an access fault attached by the system before completion
+	// (an uncorrectable media read surfaces here as a typed error rather
+	// than a panic). Nil means the access succeeded.
+	Err error
 
 	// Meta lets system-internal layers attach routing state without extra
 	// allocation. External callers must not touch it.
@@ -95,6 +99,12 @@ func (r *Request) Complete(now sim.Cycle) {
 	if r.OnDone != nil {
 		r.OnDone(r)
 	}
+}
+
+// CompleteErr attaches an access fault and completes the request.
+func (r *Request) CompleteErr(now sim.Cycle, err error) {
+	r.Err = err
+	r.Complete(now)
 }
 
 // System is a simulated memory system: the VANS model, the baseline

@@ -131,7 +131,7 @@ func (f *fakeSystem) Submit(r *Request) bool {
 func TestDriverRunChainSerializes(t *testing.T) {
 	sys := newFakeSystem(10, 4)
 	d := NewDriver(sys)
-	accs := []Access{{OpRead, 0, 64}, {OpRead, 64, 64}, {OpRead, 128, 64}}
+	accs := []Access{{Op: OpRead, Size: 64}, {Op: OpRead, Addr: 64, Size: 64}, {Op: OpRead, Addr: 128, Size: 64}}
 	lats := d.RunChain(accs)
 	if len(lats) != 3 {
 		t.Fatalf("got %d latencies", len(lats))
@@ -152,7 +152,7 @@ func TestDriverRunWindowOverlaps(t *testing.T) {
 	d := NewDriver(sys)
 	accs := make([]Access, 8)
 	for i := range accs {
-		accs[i] = Access{OpWrite, uint64(i * 64), 64}
+		accs[i] = Access{Op: OpWrite, Addr: uint64(i * 64), Size: 64}
 	}
 	elapsed := d.RunWindow(accs, 8)
 	// All 8 fit in one window and the fake has no bandwidth limit: total
@@ -171,7 +171,7 @@ func TestDriverBackpressure(t *testing.T) {
 	d := NewDriver(sys)
 	accs := make([]Access, 10)
 	for i := range accs {
-		accs[i] = Access{OpWrite, uint64(i * 64), 64}
+		accs[i] = Access{Op: OpWrite, Addr: uint64(i * 64), Size: 64}
 	}
 	elapsed := d.RunWindow(accs, 64) // window larger than system capacity
 	// Capacity 2, latency 5: 10 reqs finish in ceil(10/2)*5 = 25 cycles.
@@ -183,7 +183,7 @@ func TestDriverBackpressure(t *testing.T) {
 func TestDriverRunChainTimed(t *testing.T) {
 	sys := newFakeSystem(7, 1)
 	d := NewDriver(sys)
-	res := d.RunChainTimed([]Access{{OpRead, 0, 64}, {OpRead, 64, 64}})
+	res := d.RunChainTimed([]Access{{Op: OpRead, Size: 64}, {Op: OpRead, Addr: 64, Size: 64}})
 	if res.TotalCycles != 14 {
 		t.Fatalf("TotalCycles = %d, want 14", res.TotalCycles)
 	}

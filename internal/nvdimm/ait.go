@@ -49,6 +49,18 @@ func (t *Translator) ToMedia(addr uint64) uint64 {
 	return t.Translate(page)*t.pageSize + addr%t.pageSize
 }
 
+// AdoptFrom copies another translator's mapping into this one. The AIT
+// translation table is persistent metadata on a real DIMM (backed up to
+// media), so power-fail recovery adopts it wholesale.
+func (t *Translator) AdoptFrom(old *Translator) {
+	for p, f := range old.fwd {
+		t.fwd[p] = f
+	}
+	for f, p := range old.rev {
+		t.rev[f] = p
+	}
+}
+
 // SwapPages exchanges the frames of two CPU pages, preserving bijectivity.
 func (t *Translator) SwapPages(pa, pb uint64) {
 	n := t.pages()

@@ -9,6 +9,7 @@ package nvdimm
 
 import (
 	"repro/internal/dram"
+	"repro/internal/fault"
 	"repro/internal/media"
 	"repro/internal/sim"
 )
@@ -77,6 +78,11 @@ type Config struct {
 
 	// Functional enables data contents tracking end to end.
 	Functional bool
+
+	// Injector, when non-nil, injects deterministic faults (uncorrectable
+	// media read errors, AIT stall spikes) into this DIMM. Runtime-only:
+	// never serialized, never part of a config hash.
+	Injector *fault.Injector `json:"-"`
 }
 
 // DefaultConfig returns the Optane DIMM parameter set from the paper's

@@ -2,6 +2,7 @@ package nvdimm
 
 import (
 	"repro/internal/dram"
+	"repro/internal/fault"
 	"repro/internal/media"
 	"repro/internal/mem"
 	"repro/internal/sim"
@@ -23,6 +24,8 @@ type Stats struct {
 	TableReads   uint64
 	MediaStalls  uint64 // accesses delayed by an in-progress migration
 	Migrations   uint64
+	MediaPoison  uint64 // injected uncorrectable media read errors
+	FaultStalls  uint64 // injected AIT stall spikes
 }
 
 // DIMM is one Optane DIMM: LSQ + RMW buffer + AIT (translation table and
@@ -41,6 +44,7 @@ type DIMM struct {
 	wear  *WearLeveler
 	med   *media.XPoint
 	dramC *dram.Controller
+	inj   *fault.Injector
 
 	// rmwFree serializes the RMW buffer port.
 	rmwFree sim.Cycle
@@ -89,6 +93,7 @@ func New(eng *sim.Engine, cfg Config, seed uint64) *DIMM {
 		trans: trans,
 		med:   med,
 		dramC: dram.NewController(eng, cfg.DRAM),
+		inj:   cfg.Injector,
 	}
 	d.wear = NewWearLeveler(eng, med, trans, cfg.WearThreshold, cyc.migration, seed)
 	return d
@@ -166,17 +171,27 @@ func (d *DIMM) dramBurst(addr uint64, n int, write bool, done func()) {
 }
 
 // mediaAccess performs one 256B demand media access through the
-// wear-leveler stall window, firing done at completion.
-func (d *DIMM) mediaAccess(cpuBlock uint64, write bool, done func()) {
+// wear-leveler stall window, firing done at completion. Reads may surface an
+// injected uncorrectable media error (poison) through done; writes never do.
+func (d *DIMM) mediaAccess(cpuBlock uint64, write bool, done func(error)) {
 	d.mediaAccessPri(cpuBlock, write, false, done)
 }
 
-func (d *DIMM) mediaAccessPri(cpuBlock uint64, write, background bool, done func()) {
+func (d *DIMM) mediaAccessPri(cpuBlock uint64, write, background bool, done func(error)) {
 	mediaAddr := d.trans.ToMedia(cpuBlock)
 	if until := d.wear.BusyUntil(mediaAddr); until > d.eng.Now() {
 		d.stats.MediaStalls++
 		d.eng.Schedule(until, func() { d.mediaAccessPri(cpuBlock, write, background, done) })
 		return
+	}
+	// Poison is drawn at issue time: the access still occupies the media
+	// (the ECC pipeline runs to completion) but delivers an error instead
+	// of data.
+	var perr error
+	if !write {
+		if perr = d.inj.ReadPoison(mediaAddr); perr != nil {
+			d.stats.MediaPoison++
+		}
 	}
 	d.mediaInFlight++
 	cb := func() {
@@ -185,7 +200,7 @@ func (d *DIMM) mediaAccessPri(cpuBlock uint64, write, background bool, done func
 			d.wear.NoteWrite(mediaAddr)
 		}
 		if done != nil {
-			done()
+			done(perr)
 		}
 	}
 	if background {
@@ -218,13 +233,14 @@ func (d *DIMM) rmwSlot() sim.Cycle {
 // ---------------------------------------------------------------- read path
 
 // Read requests the 64B line at addr; done fires when data is ready to move
-// onto the bus back to the iMC.
-func (d *DIMM) Read(addr uint64, done func()) {
+// onto the bus back to the iMC. A non-nil error reports an uncorrectable
+// media read (poison): the access completes with full timing but no data.
+func (d *DIMM) Read(addr uint64, done func(error)) {
 	d.stats.ClientReads++
 	d.readsInFlight++
-	finish := func() {
+	finish := func(err error) {
 		d.readsInFlight--
-		done()
+		done(err)
 	}
 	line := addr - addr%64
 	block := d.block(addr)
@@ -233,13 +249,13 @@ func (d *DIMM) Read(addr uint64, done func()) {
 	// fast-forward, the effect the RaW prober measures).
 	if d.lsq.Contains(line) {
 		d.stats.LSQForwards++
-		d.eng.After(d.cyc.lsqLookup+d.cyc.rmwHit, finish)
+		d.eng.After(d.cyc.lsqLookup+d.cyc.rmwHit, func() { finish(nil) })
 		return
 	}
 
 	start := d.rmwSlot() + d.cyc.lsqLookup
 	if d.rmw.Lookup(block) {
-		d.eng.Schedule(start+d.cyc.rmwHit, finish)
+		d.eng.Schedule(start+d.cyc.rmwHit, func() { finish(nil) })
 		return
 	}
 
@@ -247,15 +263,20 @@ func (d *DIMM) Read(addr uint64, done func()) {
 	// served from the small persistent write cache.
 	if d.lazy != nil {
 		if lat, hit := d.lazy.ReadProbe(block); hit {
-			d.eng.Schedule(start+lat, finish)
+			d.eng.Schedule(start+lat, func() { finish(nil) })
 			return
 		}
 	}
 
 	d.eng.Schedule(start, func() {
-		d.aitRead(block, func() {
+		d.aitRead(block, func(err error) {
+			if err != nil {
+				// Poisoned data is never installed in the RMW buffer.
+				d.eng.After(d.cyc.rmwHit, func() { finish(err) })
+				return
+			}
 			d.installRMW(block, false)
-			d.eng.After(d.cyc.rmwHit, finish)
+			d.eng.After(d.cyc.rmwHit, func() { finish(nil) })
 		})
 	})
 }
@@ -275,12 +296,18 @@ func (d *DIMM) installRMW(block uint64, dirty bool) {
 
 // aitRead fetches the 256B sector containing block from the AIT: a
 // translation-table DRAM read, then either an AIT-buffer DRAM read (hit) or
-// a media access with critical-sector-first line fill (miss).
-func (d *DIMM) aitRead(block uint64, done func()) {
+// a media access with critical-sector-first line fill (miss). An injected
+// AIT stall spike (controller firmware hiccup) stretches the lookup latency.
+func (d *DIMM) aitRead(block uint64, done func(error)) {
 	page := d.page(block)
 	sector := d.sector(block)
 	d.stats.TableReads++
-	d.eng.After(d.cyc.aitLookup, func() {
+	lookup := d.cyc.aitLookup
+	if stall := d.inj.AITStall(); stall > 0 {
+		d.stats.FaultStalls++
+		lookup += stall
+	}
+	d.eng.After(lookup, func() {
 		d.dramAccess(d.tableAddr(page), false, func() {
 			d.aitReadLookup(page, sector, block, done)
 		})
@@ -288,24 +315,29 @@ func (d *DIMM) aitRead(block uint64, done func()) {
 }
 
 // aitReadLookup continues aitRead after the translation-table access.
-func (d *DIMM) aitReadLookup(page uint64, sector int, block uint64, done func()) {
+func (d *DIMM) aitReadLookup(page uint64, sector int, block uint64, done func(error)) {
 	lineHit, sectorHit := d.buf.LookupSector(page, sector)
 	if sectorHit {
 		burst := int(d.cfg.RMWBlock / 64)
-		d.dramBurst(d.dataAddr(page, sector), burst, false, done)
+		d.dramBurst(d.dataAddr(page, sector), burst, false, func() { done(nil) })
 		return
 	}
 	if !lineHit {
 		d.allocateAITLine(page)
 	}
 	// Critical sector from media, following sectors in the background.
-	d.mediaAccess(block, false, func() {
+	d.mediaAccess(block, false, func(err error) {
+		if err != nil {
+			// Poisoned sector: nothing valid to install or buffer.
+			done(err)
+			return
+		}
 		d.buf.FillSector(page, sector)
 		// The fetched sector is also written into the DRAM buffer; that
 		// write is off the critical path.
 		burst := int(d.cfg.RMWBlock / 64)
 		d.dramBurst(d.dataAddr(page, sector), burst, true, nil)
-		done()
+		done(nil)
 	})
 	if d.cfg.ReadFillLine {
 		d.fillLine(page, sector)
@@ -325,7 +357,7 @@ func (d *DIMM) allocateAITLine(page uint64) {
 		}
 		victimBlock := ev.Page*d.cfg.AITLine + uint64(s)*d.cfg.RMWBlock
 		d.writesInFlight++
-		d.mediaAccess(victimBlock, true, func() { d.writesInFlight-- })
+		d.mediaAccess(victimBlock, true, func(error) { d.writesInFlight-- })
 	}
 }
 
@@ -344,7 +376,12 @@ func (d *DIMM) fillLine(page uint64, except int) {
 		}
 		s := s
 		block := page*d.cfg.AITLine + uint64(s)*d.cfg.RMWBlock
-		d.mediaAccessPri(block, false, true, func() {
+		d.mediaAccessPri(block, false, true, func(err error) {
+			if err != nil {
+				// Poisoned speculative fill: drop it silently — the sector
+				// stays invalid and a later demand read surfaces the fault.
+				return
+			}
 			d.buf.FillSector(page, s)
 			d.dramBurst(d.dataAddr(page, s), int(d.cfg.RMWBlock/64), true, nil)
 		})
@@ -374,7 +411,8 @@ func (d *DIMM) aitWriteLookup(page uint64, sector int, block uint64, done func()
 		burst := int(d.cfg.RMWBlock / 64)
 		if d.cfg.WriteThrough {
 			d.dramBurst(d.dataAddr(page, sector), burst, true, nil)
-			d.mediaAccess(block, true, done)
+			// Writes never fault in the model; the error is discarded.
+			d.mediaAccess(block, true, func(error) { done() })
 			return
 		}
 		d.dramBurst(d.dataAddr(page, sector), burst, true, done)
@@ -467,9 +505,11 @@ func (d *DIMM) processGroup(g Group, done func()) {
 			return
 		}
 		if !complete && !d.rmw.Peek(g.Block) {
-			// Read-modify-write: fetch the block, then apply.
+			// Read-modify-write: fetch the block, then apply. A poisoned
+			// fill does not block the write: the store overwrites the
+			// unreadable sector (how poison is actually cleared on Optane).
 			d.stats.PartialRMW++
-			d.aitRead(g.Block, func() {
+			d.aitRead(g.Block, func(error) {
 				d.installRMW(g.Block, !d.cfg.WriteThrough)
 				d.forwardWrite(g.Block, done)
 			})
@@ -539,6 +579,16 @@ func (d *DIMM) ReadData(addr uint64, n int) []byte {
 	return d.med.ReadData(d.trans.ToMedia(addr), n)
 }
 
+// AdoptPersistent transplants the persistent remnants of a powered-off DIMM
+// into this (freshly constructed) one: the AIT translation table and the
+// media image plus wear counters. Volatile state — LSQ, RMW buffer, AIT data
+// buffer, in-flight bookkeeping — is deliberately not carried: it is exactly
+// what a power failure truncates.
+func (d *DIMM) AdoptPersistent(old *DIMM) {
+	d.trans.AdoptFrom(old.trans)
+	d.med.AdoptPersistent(old.med)
+}
+
 // ----------------------------------------------------- standalone adapter
 
 // System adapts a single DIMM to mem.System for unit tests and single-DIMM
@@ -568,7 +618,7 @@ func (s *System) Submit(r *mem.Request) bool {
 	switch r.Op {
 	case mem.OpRead:
 		r.Issued = s.eng.Now()
-		s.D.Read(r.Addr, func() { r.Complete(s.eng.Now()) })
+		s.D.Read(r.Addr, func(err error) { r.CompleteErr(s.eng.Now(), err) })
 		return true
 	case mem.OpWrite, mem.OpWriteNT, mem.OpClwb:
 		if !s.D.AcceptWrite(r.Addr, r.Data) {

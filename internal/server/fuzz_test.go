@@ -1,0 +1,63 @@
+package server
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzJobSpec feeds arbitrary JSON through the public submission path:
+// decode into a JobSpec and Compile it. Invariants: never panic, reject
+// garbage with an error rather than a zero plan, hash accepted plans
+// deterministically, and translate them into a simulator config without
+// blowing up. This is exactly what a hostile HTTP client can reach.
+func FuzzJobSpec(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"workload":{"kind":"chase"}}`,
+		`{"workload":{"kind":"chase","region":"16K","max_steps":100},"seed":7}`,
+		`{"workload":{"kind":"seq","bytes":"1M","op":"store-nt"},"window":4}`,
+		`{"workload":{"kind":"trace","trace":"0 R 0x0 64\n"}}`,
+		`{"workload":{"kind":"cloud","name":"redis","instructions":1000}}`,
+		`{"config":{"dimms":6,"interleaved":true,"media_bytes":"256M"},"workload":{"kind":"chase"}}`,
+		`{"config":{"mode":"memory","dram_cache":"1G"},"workload":{"kind":"seq"}}`,
+		`{"workload":{"kind":"chase","region":"20E"}}`,
+		`{"workload":{"kind":"chase","region":"-1K"}}`,
+		`{"workload":{"kind":"chase"},"fault":{"poison_rate":0.5,"seed":3}}`,
+		`{"workload":{"kind":"chase"},"fault":{"poison_rate":2}}`,
+		`{"workload":{"kind":"seq","op":"store-nt"},"fault":{"power_fail_cycle":4000}}`,
+		`{"config":{"mode":"memory"},"workload":{"kind":"seq"},"fault":{"power_fail_cycle":1}}`,
+		`{"workload":{"kind":"chase"},"fault":{"stall_rate":0.1,"stall_ns":1e9}}`,
+		`{"workload":{"kind":"chase"},"fault":{"crash_access":5}}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		var spec JobSpec
+		if err := json.Unmarshal([]byte(data), &spec); err != nil {
+			return // not a JobSpec; the HTTP layer rejects it before Compile
+		}
+		p, err := spec.Compile()
+		if err != nil {
+			if p != nil {
+				t.Fatalf("Compile returned a plan alongside error %v", err)
+			}
+			return
+		}
+		h1, h2 := p.Hash(), p.Hash()
+		if h1 != h2 || len(h1) != 64 || strings.ToLower(h1) != h1 {
+			t.Fatalf("unstable or malformed plan hash: %q vs %q", h1, h2)
+		}
+		// A compiled plan must translate to a simulator config without
+		// panicking; building the full system is too slow for fuzzing, but
+		// the translation covers the size/mode plumbing.
+		cfg := p.VansConfig()
+		if cfg.DIMMs != p.DIMMs {
+			t.Fatalf("VansConfig dropped dimms: %d != %d", cfg.DIMMs, p.DIMMs)
+		}
+		if p.Fault.Enabled() && !cfg.Fault.Enabled() {
+			t.Fatal("VansConfig dropped the fault spec")
+		}
+	})
+}

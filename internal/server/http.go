@@ -38,7 +38,7 @@ type errorBody struct {
 }
 
 func writeError(w http.ResponseWriter, code int, err error) {
-	if code == http.StatusServiceUnavailable {
+	if code == http.StatusServiceUnavailable || code == http.StatusTooManyRequests {
 		w.Header().Set("Retry-After", "1")
 	}
 	writeJSON(w, code, errorBody{Error: err.Error()})
@@ -61,7 +61,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	st, err := s.Submit(spec)
 	switch {
-	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+	case errors.Is(err, ErrQueueFull):
+		// Load shedding: the queue is saturated — back off and retry.
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrBreakerOpen):
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	case err != nil:
@@ -111,13 +115,23 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	type health struct {
-		Status   string `json:"status"`
-		Draining bool   `json:"draining"`
+		Status          string `json:"status"`
+		Draining        bool   `json:"draining"`
+		Breaker         string `json:"breaker"`
+		BreakerFailures int    `json:"breaker_failures,omitempty"`
+		BreakerOpens    uint64 `json:"breaker_opens,omitempty"`
 	}
 	h := health{Status: "ok", Draining: s.Draining()}
+	h.Breaker, h.BreakerFailures, h.BreakerOpens = s.BreakerState()
 	code := http.StatusOK
-	if h.Draining {
+	switch {
+	case h.Draining:
 		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	case h.Breaker != BreakerClosed:
+		// Tripped (or probing) breaker: alive but degraded. 503 lets load
+		// balancers steer traffic away until the engine recovers.
+		h.Status = "degraded"
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, h)

@@ -232,11 +232,11 @@ func TestHTTPQueueFullAndDraining(t *testing.T) {
 	postJSON(t, ts.URL+"/v1/jobs", slowSpec(51)).Body.Close()
 
 	resp := postJSON(t, ts.URL+"/v1/jobs", slowSpec(52))
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Errorf("full queue status = %d, want 503", resp.StatusCode)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("full queue status = %d, want 429", resp.StatusCode)
 	}
 	if resp.Header.Get("Retry-After") == "" {
-		t.Error("503 without Retry-After")
+		t.Error("429 without Retry-After")
 	}
 	resp.Body.Close()
 

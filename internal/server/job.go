@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/trace"
 	"repro/internal/units"
@@ -33,6 +34,10 @@ type JobSpec struct {
 	Window int `json:"window,omitempty"`
 	// Seed drives workload generation. Default 1.
 	Seed uint64 `json:"seed,omitempty"`
+	// Fault optionally injects deterministic faults (poison, stall spikes,
+	// a power-fail cut, an engine crash) into the run. Part of the canonical
+	// hash: faulty runs cache and reproduce like any other job.
+	Fault *fault.Spec `json:"fault,omitempty"`
 }
 
 // ConfigSpec selects the simulated system.
@@ -86,30 +91,31 @@ const (
 )
 
 // hashVersion re-keys the cache whenever the plan layout or runner semantics
-// change incompatibly.
-const hashVersion = "nvmserved/1:"
+// change incompatibly. v2: the plan gained the fault spec.
+const hashVersion = "nvmserved/2:"
 
 // Plan is the validated, fully defaulted form of a JobSpec: every size
 // parsed, every default applied. Hashing and execution both work from the
 // Plan, so the cache key covers exactly what the runner sees.
 type Plan struct {
-	DIMMs        int    `json:"dimms"`
-	Interleaved  bool   `json:"interleaved"`
-	Mode         string `json:"mode"`
-	MediaBytes   uint64 `json:"media_bytes"`
-	DRAMCache    uint64 `json:"dram_cache"`
-	CfgSeed      uint64 `json:"cfg_seed"`
-	Kind         string `json:"kind"`
-	Region       uint64 `json:"region"`
-	MaxSteps     int    `json:"max_steps"`
-	Bytes        uint64 `json:"bytes"`
-	Op           string `json:"op"`
-	Trace        string `json:"trace"`
-	Name         string `json:"name"`
-	Instructions int    `json:"instructions"`
-	Footprint    uint64 `json:"footprint"`
-	Window       int    `json:"window"`
-	Seed         uint64 `json:"seed"`
+	DIMMs        int        `json:"dimms"`
+	Interleaved  bool       `json:"interleaved"`
+	Mode         string     `json:"mode"`
+	MediaBytes   uint64     `json:"media_bytes"`
+	DRAMCache    uint64     `json:"dram_cache"`
+	CfgSeed      uint64     `json:"cfg_seed"`
+	Kind         string     `json:"kind"`
+	Region       uint64     `json:"region"`
+	MaxSteps     int        `json:"max_steps"`
+	Bytes        uint64     `json:"bytes"`
+	Op           string     `json:"op"`
+	Trace        string     `json:"trace"`
+	Name         string     `json:"name"`
+	Instructions int        `json:"instructions"`
+	Footprint    uint64     `json:"footprint"`
+	Window       int        `json:"window"`
+	Seed         uint64     `json:"seed"`
+	Fault        fault.Spec `json:"fault"`
 }
 
 // Hash returns the canonical job hash: SHA-256 over a version tag plus the
@@ -139,6 +145,7 @@ func (p *Plan) VansConfig() vans.Config {
 	}
 	cfg.DRAMCacheBytes = p.DRAMCache
 	cfg.Seed = p.CfgSeed
+	cfg.Fault = p.Fault
 	return cfg
 }
 
@@ -197,6 +204,18 @@ func (s JobSpec) Compile() (*Plan, error) {
 	p.Seed = s.Seed
 	if p.Seed == 0 {
 		p.Seed = 1
+	}
+	if s.Fault != nil {
+		if err := s.Fault.Validate(); err != nil {
+			return nil, err
+		}
+		p.Fault = *s.Fault
+		if p.Fault.Enabled() && p.Fault.Seed == 0 {
+			p.Fault.Seed = 1
+		}
+		if p.Fault.PowerFailCycle > 0 && strings.EqualFold(s.Config.Mode, "memory") {
+			return nil, fmt.Errorf("fault.power_fail_cycle: crash-consistency check requires appdirect mode")
+		}
 	}
 
 	w := s.Workload

@@ -19,6 +19,10 @@ type Metrics struct {
 	cached           uint64
 	rejectedFull     uint64
 	rejectedDraining uint64
+	rejectedBreaker  uint64
+	retries          uint64
+	panics           uint64
+	workersReplaced  uint64
 	cacheHits        uint64
 	cacheMisses      uint64
 	busy             time.Duration
@@ -39,8 +43,12 @@ func (m *Metrics) add(field *uint64) {
 func (m *Metrics) jobAccepted()    { m.add(&m.accepted) }
 func (m *Metrics) jobFailed()      { m.add(&m.failed) }
 func (m *Metrics) jobCanceled()    { m.add(&m.canceled) }
+func (m *Metrics) jobRetried()     { m.add(&m.retries) }
+func (m *Metrics) jobPanicked()    { m.add(&m.panics) }
+func (m *Metrics) workerReplaced() { m.add(&m.workersReplaced) }
 func (m *Metrics) rejectFull()     { m.add(&m.rejectedFull) }
 func (m *Metrics) rejectDraining() { m.add(&m.rejectedDraining) }
+func (m *Metrics) rejectBreaker()  { m.add(&m.rejectedBreaker) }
 func (m *Metrics) cacheMiss()      { m.add(&m.cacheMisses) }
 
 // cacheHit records a submission served entirely from the cache.
@@ -82,6 +90,12 @@ type MetricsSnapshot struct {
 	JobsCached        uint64      `json:"jobs_cached"`
 	RejectedQueueFull uint64      `json:"rejected_queue_full"`
 	RejectedDraining  uint64      `json:"rejected_draining"`
+	RejectedBreaker   uint64      `json:"rejected_breaker"`
+	JobRetries        uint64      `json:"job_retries"`
+	JobPanics         uint64      `json:"job_panics"`
+	WorkersReplaced   uint64      `json:"workers_replaced"`
+	BreakerState      string      `json:"breaker_state"`
+	BreakerOpens      uint64      `json:"breaker_opens"`
 	CacheHits         uint64      `json:"cache_hits"`
 	CacheMisses       uint64      `json:"cache_misses"`
 	CacheEntries      int         `json:"cache_entries"`
@@ -108,6 +122,10 @@ func (m *Metrics) snapshot(workers, workersBusy, queueDepth, queueCap, cacheLen 
 		JobsCached:        m.cached,
 		RejectedQueueFull: m.rejectedFull,
 		RejectedDraining:  m.rejectedDraining,
+		RejectedBreaker:   m.rejectedBreaker,
+		JobRetries:        m.retries,
+		JobPanics:         m.panics,
+		WorkersReplaced:   m.workersReplaced,
 		CacheHits:         m.cacheHits,
 		CacheMisses:       m.cacheMisses,
 		CacheEntries:      cacheLen,

@@ -7,7 +7,9 @@ import (
 	"strings"
 
 	"repro/internal/cpu"
+	"repro/internal/fault"
 	"repro/internal/mem"
+	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/vans"
 	"repro/internal/workload"
@@ -29,6 +31,9 @@ type Result struct {
 	AvgLatencyNs  float64       `json:"avg_latency_ns"`
 	BandwidthGBs  float64       `json:"bandwidth_gbs"`
 	Vans          vans.Snapshot `json:"vans"`
+	// Crash is the crash-consistency report of a power-fail job (nil
+	// otherwise). Like everything else here it is simulation-domain only.
+	Crash *fault.CrashReport `json:"crash,omitempty"`
 }
 
 // Canonical returns the canonical JSON encoding used for byte-identity
@@ -57,8 +62,16 @@ type Runner struct {
 func NewRunner() *Runner { return &Runner{} }
 
 // Run executes the plan to completion or until ctx is done. The returned
-// result is independent of which Runner executed it.
+// result is independent of which Runner executed it. Run is attempt 0; the
+// scheduler retries transient faults through RunAttempt.
 func (rn *Runner) Run(ctx context.Context, p *Plan) (*Result, error) {
+	return rn.RunAttempt(ctx, p, 0)
+}
+
+// RunAttempt executes one retry attempt of the plan. The attempt number
+// feeds the fault injector: transient faults fire only on attempt 0, so a
+// retried job deterministically succeeds while permanent faults recur.
+func (rn *Runner) RunAttempt(ctx context.Context, p *Plan, attempt int) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -73,16 +86,28 @@ func (rn *Runner) Run(ctx context.Context, p *Plan) (*Result, error) {
 		return nil, fmt.Errorf("server: workload produced no accesses")
 	}
 
-	sys := vans.New(p.VansConfig())
+	if p.Fault.PowerFailCycle > 0 {
+		return rn.runPowerFail(p, accs, window)
+	}
+
+	cfg := p.VansConfig()
+	cfg.FaultAttempt = attempt
+	sys := vans.New(cfg)
 	d := mem.NewDriver(sys)
 	every := rn.checkEvery
 	if every == 0 {
 		every = 1024
 	}
-	n := 0
+	crash := p.Fault.CrashAccess
+	n := uint64(0)
 	keepGoing := func() bool {
 		n++
-		if n%every != 0 {
+		if crash != 0 && n == crash {
+			// Chaos knob: blow up the engine goroutine mid-run to drill the
+			// scheduler's worker panic recovery.
+			panic(fault.CrashPanicMsg(crash))
+		}
+		if n%uint64(every) != 0 {
 			return true
 		}
 		return ctx.Err() == nil
@@ -94,6 +119,13 @@ func (rn *Runner) Run(ctx context.Context, p *Plan) (*Result, error) {
 	fenceStart := sys.Engine().Now()
 	d.Fence()
 	drain := sys.Engine().Now() - fenceStart
+	if ferr := d.Err(); ferr != nil {
+		// Injected faults surface as typed errors, never panics. The wrap
+		// preserves the fault class so the scheduler's retry policy can
+		// distinguish transient from permanent.
+		return nil, fmt.Errorf("server: %d of %d accesses faulted: %w",
+			d.Faults(), len(accs), ferr)
+	}
 
 	var bytesMoved uint64
 	for _, a := range accs {
@@ -116,6 +148,23 @@ func (rn *Runner) Run(ctx context.Context, p *Plan) (*Result, error) {
 		Vans:          sys.Snapshot(),
 	}
 	return res, nil
+}
+
+// runPowerFail executes a power-fail job: replay to the cut cycle, recover,
+// verify the ADR contract, and report. The report replaces the usual timing
+// result (a cut run has no steady-state bandwidth to report).
+func (rn *Runner) runPowerFail(p *Plan, accs []mem.Access, window int) (*Result, error) {
+	rep, err := vans.CheckPowerFail(p.VansConfig(), accs, window,
+		sim.Cycle(p.Fault.PowerFailCycle), p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Hash:          p.Hash(),
+		Accesses:      len(accs),
+		ElapsedCycles: rep.EndCycle,
+		Crash:         &rep,
+	}, nil
 }
 
 // RunSpec compiles and executes spec synchronously on the calling

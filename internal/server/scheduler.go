@@ -4,18 +4,27 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/fault"
 )
 
-// Submission errors. The HTTP layer maps both to 503 Service Unavailable.
+// Submission errors. The HTTP layer maps ErrQueueFull to 429 Too Many
+// Requests (load shedding: back off and retry) and the other two to 503
+// Service Unavailable.
 var (
 	// ErrQueueFull reports that the bounded job queue has no space.
 	ErrQueueFull = errors.New("server: job queue full")
 	// ErrDraining reports that the server is shutting down.
 	ErrDraining = errors.New("server: draining, not accepting jobs")
+	// ErrBreakerOpen reports that the engine circuit breaker is open after
+	// consecutive engine failures.
+	ErrBreakerOpen = errors.New("server: circuit breaker open, engine failing")
 )
 
 // JobState is a job's lifecycle phase.
@@ -66,8 +75,23 @@ type Options struct {
 	// CacheEntries sizes the LRU result cache (default 256; negative
 	// disables caching).
 	CacheEntries int
-	// JobTimeout bounds each job's execution (default 60s).
+	// JobTimeout bounds each job's execution, all retry attempts included
+	// (default 60s).
 	JobTimeout time.Duration
+	// MaxRetries bounds extra attempts after a transient fault (default 2;
+	// negative disables retries).
+	MaxRetries int
+	// RetryBaseDelay is the first retry backoff (default 10ms). Successive
+	// retries double it, capped at RetryMaxDelay, with up to 50% jitter.
+	RetryBaseDelay time.Duration
+	// RetryMaxDelay caps the backoff (default 500ms).
+	RetryMaxDelay time.Duration
+	// BreakerThreshold is the consecutive engine-failure count that opens
+	// the circuit breaker (default 5; negative disables the breaker).
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before admitting a
+	// probe (default 5s).
+	BreakerCooldown time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -92,6 +116,24 @@ func (o Options) withDefaults() Options {
 	if o.JobTimeout <= 0 {
 		o.JobTimeout = 60 * time.Second
 	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 2
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.RetryBaseDelay <= 0 {
+		o.RetryBaseDelay = 10 * time.Millisecond
+	}
+	if o.RetryMaxDelay <= 0 {
+		o.RetryMaxDelay = 500 * time.Millisecond
+	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 5 * time.Second
+	}
 	return o
 }
 
@@ -102,6 +144,7 @@ type Server struct {
 	opts    Options
 	metrics *Metrics
 	cache   *resultCache
+	brk     *breaker
 
 	queue     chan *Job
 	wg        sync.WaitGroup
@@ -123,6 +166,7 @@ func New(opts Options) *Server {
 		opts:      opts,
 		metrics:   newMetrics(),
 		cache:     newResultCache(opts.CacheEntries),
+		brk:       newBreaker(opts.BreakerThreshold, opts.BreakerCooldown),
 		queue:     make(chan *Job, opts.QueueDepth),
 		runCtx:    ctx,
 		runCancel: cancel,
@@ -145,6 +189,10 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 	p, err := spec.Compile()
 	if err != nil {
 		return JobStatus{}, err
+	}
+	if ok, retryAfter := s.brk.allow(); !ok {
+		s.metrics.rejectBreaker()
+		return JobStatus{}, fmt.Errorf("%w (retry after %s)", ErrBreakerOpen, retryAfter.Round(time.Second))
 	}
 	j := &Job{
 		hash:      p.Hash(),
@@ -191,8 +239,20 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 
 // worker drains the queue until it closes. Each worker owns one Runner, so
 // every job executes on an isolated engine + system.
+//
+// A panic escaping a job (a wedged or crashed simulation) is recovered here:
+// the job was already finalized as failed by runJob's defer, and this worker
+// replaces itself with a fresh goroutine — and a fresh Runner — inheriting
+// its WaitGroup slot, so the pool never shrinks and the daemon keeps serving.
 func (s *Server) worker() {
-	defer s.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.workerReplaced()
+			go s.worker()
+			return
+		}
+		s.wg.Done()
+	}()
 	rn := NewRunner()
 	for j := range s.queue {
 		s.runJob(rn, j)
@@ -208,12 +268,31 @@ func (s *Server) runJob(rn *Runner, j *Job) {
 	s.busy.Add(1)
 	start := time.Now()
 	ctx, cancel := context.WithTimeout(s.runCtx, s.opts.JobTimeout)
-	res, err := rn.Run(ctx, j.plan)
-	cancel()
-	wall := time.Since(start)
-	s.busy.Add(-1)
-	s.metrics.workerBusy(wall)
 
+	var res *Result
+	var err error
+	defer func() {
+		cancel()
+		wall := time.Since(start)
+		s.busy.Add(-1)
+		s.metrics.workerBusy(wall)
+		if r := recover(); r != nil {
+			// A panic unwound out of the run (the panicking frames are still
+			// below us, so the stack names the culprit). Fail the job with
+			// value and stack so clients see why, then re-raise: the worker's
+			// recover replaces the goroutine with a fresh one.
+			s.metrics.jobPanicked()
+			s.finalize(j, nil, fmt.Errorf("server: job panicked: %v\n\n%s",
+				r, debug.Stack()), wall)
+			panic(r)
+		}
+		s.finalize(j, res, err, wall)
+	}()
+	res, err = s.runWithRetry(ctx, rn, j.plan)
+}
+
+// finalize moves a job to its terminal state and updates breaker + metrics.
+func (s *Server) finalize(j *Job, res *Result, err error, wall time.Duration) {
 	s.mu.Lock()
 	j.finished = time.Now()
 	switch {
@@ -222,17 +301,49 @@ func (s *Server) runJob(rn *Runner, j *Job) {
 		j.result = res
 		s.cache.Put(j.hash, res)
 		s.metrics.jobCompleted(wall)
+		s.brk.recordSuccess()
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		j.state = JobCanceled
 		j.err = err.Error()
 		s.metrics.jobCanceled()
+		// Timeouts are not engine failures; they don't move the breaker.
 	default:
 		j.state = JobFailed
 		j.err = err.Error()
 		s.metrics.jobFailed()
+		s.brk.recordFailure()
 	}
 	close(j.done)
 	s.mu.Unlock()
+}
+
+// runWithRetry executes the plan, retrying transient injected faults with
+// capped exponential backoff plus jitter. All attempts share the job's
+// timeout context. Permanent faults, client errors, and timeouts are never
+// retried.
+func (s *Server) runWithRetry(ctx context.Context, rn *Runner, p *Plan) (*Result, error) {
+	delay := s.opts.RetryBaseDelay
+	for attempt := 0; ; attempt++ {
+		res, err := rn.RunAttempt(ctx, p, attempt)
+		if err == nil || attempt >= s.opts.MaxRetries || !fault.IsTransient(err) {
+			return res, err
+		}
+		s.metrics.jobRetried()
+		// Up to 50% jitter decorrelates retry storms across workers.
+		sleep := delay + time.Duration(rand.Int63n(int64(delay)/2+1))
+		if sleep > s.opts.RetryMaxDelay {
+			sleep = s.opts.RetryMaxDelay
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(sleep):
+		}
+		delay *= 2
+		if delay > s.opts.RetryMaxDelay {
+			delay = s.opts.RetryMaxDelay
+		}
+	}
 }
 
 // statusLocked builds the status view; the caller holds s.mu.
@@ -297,10 +408,19 @@ func (s *Server) Draining() bool {
 	return s.draining
 }
 
+// BreakerState returns the circuit breaker's state ("closed", "open",
+// "half-open"), its consecutive engine-failure count, and how many times it
+// has opened.
+func (s *Server) BreakerState() (string, int, uint64) {
+	return s.brk.snapshot()
+}
+
 // MetricsSnapshot returns the current service metrics.
 func (s *Server) MetricsSnapshot() MetricsSnapshot {
-	return s.metrics.snapshot(s.opts.Workers, int(s.busy.Load()),
+	snap := s.metrics.snapshot(s.opts.Workers, int(s.busy.Load()),
 		len(s.queue), s.opts.QueueDepth, s.cache.Len())
+	snap.BreakerState, _, snap.BreakerOpens = s.brk.snapshot()
+	return snap
 }
 
 // Shutdown drains the server: new submissions are rejected with ErrDraining,

@@ -68,6 +68,17 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending returns the number of scheduled, not yet executed events.
 func (e *Engine) Pending() int { return len(e.events) }
 
+// NextAt peeks at the timestamp of the earliest pending event. ok is false
+// when no events are scheduled. Used by drivers that must stop the
+// simulation at an exact cycle (power-fail cuts) without firing anything
+// beyond it.
+func (e *Engine) NextAt() (Cycle, bool) {
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].at, true
+}
+
 // Schedule runs fn at absolute cycle at. Scheduling in the past (at < Now) is
 // treated as "now": the event fires before time advances further.
 func (e *Engine) Schedule(at Cycle, fn func()) {

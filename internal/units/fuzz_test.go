@@ -1,0 +1,54 @@
+package units
+
+import (
+	"strings"
+	"testing"
+)
+
+// isASCII reports whether s is pure ASCII; the case-insensitivity invariant
+// is only claimed there (Unicode case folding is not round-trippable).
+func isASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzParseSize hammers the size parser with arbitrary inputs. Invariants:
+// never panic, never accept a value above MaxBytes, parse deterministically,
+// and treat suffix case and surrounding whitespace as insignificant.
+func FuzzParseSize(f *testing.F) {
+	for _, seed := range []string{
+		"", "0", "64", "64B", "4K", "4KiB", "16M", "2G", "1T", "1P", "7E",
+		"20E", "-4K", "+1M", " 8M ", "1KK", "12X", "1.5M",
+		"9223372036854775807", "9223372036854775808", "999999999999999999999",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseBytes(s)
+		if err != nil {
+			if v != 0 {
+				t.Fatalf("ParseBytes(%q) returned %d alongside error %v", s, v, err)
+			}
+			return
+		}
+		if v > MaxBytes {
+			t.Fatalf("ParseBytes(%q) = %d, above MaxBytes", s, v)
+		}
+		again, err2 := ParseBytes(s)
+		if err2 != nil || again != v {
+			t.Fatalf("ParseBytes(%q) not deterministic: %d,%v then %d,%v", s, v, err, again, err2)
+		}
+		if isASCII(s) {
+			if lower, err3 := ParseBytes(strings.ToLower(s)); err3 != nil || lower != v {
+				t.Fatalf("ParseBytes case-sensitive on %q: %d,%v vs %d,%v", s, v, err, lower, err3)
+			}
+		}
+		if trimmed, err4 := ParseBytes(" " + s + " "); err4 != nil || trimmed != v {
+			t.Fatalf("ParseBytes whitespace-sensitive on %q: %d,%v vs %d,%v", s, v, err, trimmed, err4)
+		}
+	})
+}

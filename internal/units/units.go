@@ -10,12 +10,25 @@ import (
 	"strings"
 )
 
+// MaxBytes is the largest size ParseBytes accepts: 2^63-1. Sizes are consumed
+// as offsets and capacities that get mixed with signed arithmetic downstream,
+// so anything above int64 range is rejected as out of range rather than left
+// to wrap.
+const MaxBytes = math.MaxInt64
+
 // ParseBytes parses a byte size: an unsigned integer with an optional
-// binary-scale suffix K, M, G, or T (case-insensitive), each optionally
+// binary-scale suffix K, M, G, T, P, or E (case-insensitive), each optionally
 // followed by "B" or "iB" ("4K" == "4KB" == "4KiB" == 4096). A bare "B"
-// suffix is also accepted ("64B" == 64).
+// suffix is also accepted ("64B" == 64). Negative sizes and sizes above
+// 2^63-1 (e.g. "20E") are rejected with explicit errors.
 func ParseBytes(s string) (uint64, error) {
 	t := strings.ToUpper(strings.TrimSpace(s))
+	if strings.HasPrefix(t, "-") {
+		return 0, fmt.Errorf("units: size %q is negative", s)
+	}
+	if strings.HasPrefix(t, "+") {
+		return 0, fmt.Errorf("units: size %q has an explicit sign", s)
+	}
 	i := 0
 	for i < len(t) && t[i] >= '0' && t[i] <= '9' {
 		i++
@@ -39,11 +52,15 @@ func ParseBytes(s string) (uint64, error) {
 		mult = 1 << 30
 	case "T", "TB", "TIB":
 		mult = 1 << 40
+	case "P", "PB", "PIB":
+		mult = 1 << 50
+	case "E", "EB", "EIB":
+		mult = 1 << 60
 	default:
 		return 0, fmt.Errorf("units: unknown size suffix %q in %q", t[i:], s)
 	}
-	if mult > 1 && v > math.MaxUint64/mult {
-		return 0, fmt.Errorf("units: size %q overflows uint64", s)
+	if v > MaxBytes/mult {
+		return 0, fmt.Errorf("units: size %q exceeds 2^63-1 bytes", s)
 	}
 	return v * mult, nil
 }

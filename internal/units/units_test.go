@@ -1,6 +1,9 @@
 package units
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestParseBytes(t *testing.T) {
 	cases := []struct {
@@ -20,6 +23,10 @@ func TestParseBytes(t *testing.T) {
 		{"2gb", 2 << 30},
 		{"1T", 1 << 40},
 		{" 8M ", 8 << 20},
+		{"1P", 1 << 50},
+		{"1E", 1 << 60},
+		{"7E", 7 << 60}, // largest whole-exbibyte size under 2^63-1
+		{"9223372036854775807", 1<<63 - 1},
 	}
 	for _, c := range cases {
 		got, err := ParseBytes(c.in)
@@ -34,9 +41,38 @@ func TestParseBytes(t *testing.T) {
 }
 
 func TestParseBytesErrors(t *testing.T) {
-	for _, in := range []string{"", "K", "B", "12X", "1KK", "-4K", "1.5M", "999999999999999999999", "20000000000G"} {
-		if v, err := ParseBytes(in); err == nil {
-			t.Errorf("ParseBytes(%q) = %d, want error", in, v)
+	cases := []struct {
+		in      string
+		errLike string // substring the error message must carry
+	}{
+		{"", "no leading number"},
+		{"K", "no leading number"},
+		{"B", "no leading number"},
+		{"12X", "unknown size suffix"},
+		{"1KK", "unknown size suffix"},
+		{"1.5M", "unknown size suffix"},
+		// Negative and signed sizes get explicit rejections, not a generic
+		// parse failure.
+		{"-4K", "negative"},
+		{"-1", "negative"},
+		{" -8M", "negative"},
+		{"+4K", "explicit sign"},
+		// Anything above 2^63-1 is out of range, whether the overflow comes
+		// from the suffix multiply or the bare number itself.
+		{"20E", "exceeds 2^63-1"},
+		{"8E", "exceeds 2^63-1"},
+		{"9223372036854775808", "exceeds 2^63-1"}, // 2^63 exactly
+		{"20000000000G", "exceeds 2^63-1"},
+		{"999999999999999999999", "bad number"}, // overflows uint64 in ParseUint
+	}
+	for _, c := range cases {
+		v, err := ParseBytes(c.in)
+		if err == nil {
+			t.Errorf("ParseBytes(%q) = %d, want error", c.in, v)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.errLike) {
+			t.Errorf("ParseBytes(%q) error = %q, want it to mention %q", c.in, err, c.errLike)
 		}
 	}
 }

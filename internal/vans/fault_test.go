@@ -1,0 +1,110 @@
+package vans
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/mem"
+)
+
+// coldReads builds reads over distinct cold lines (no LSQ/RMW forwarding).
+func coldReads(n int) []mem.Access {
+	accs := make([]mem.Access, n)
+	for i := range accs {
+		accs[i] = mem.Access{Op: mem.OpRead, Addr: uint64(i) * 4096, Size: 64}
+	}
+	return accs
+}
+
+func TestInjectedPoisonSurfacesAsTypedError(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NV.Media.Capacity = 32 << 20
+	cfg.Fault = fault.Spec{Seed: 5, PoisonRate: 1}
+	sys := New(cfg)
+	d := mem.NewDriver(sys)
+	d.RunChain(coldReads(4))
+	if d.Faults() != 4 {
+		t.Fatalf("faults = %d, want 4 (rate 1 over 4 cold reads)", d.Faults())
+	}
+	if !fault.IsMediaError(d.Err()) {
+		t.Fatalf("driver error %v is not a MediaError", d.Err())
+	}
+	if fault.IsTransient(d.Err()) {
+		t.Fatal("permanent poison reported transient")
+	}
+	// The stat counts speculative line-fill poison too, so it is at least
+	// the demand-read fault count.
+	if p, _ := sys.FaultStats(); p < 4 {
+		t.Fatalf("MediaPoison stat = %d, want >= 4", p)
+	}
+}
+
+func TestTransientPoisonClearsOnRetryAttempt(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NV.Media.Capacity = 32 << 20
+	cfg.Fault = fault.Spec{Seed: 5, PoisonRate: 1, PoisonTransient: true}
+
+	first := mem.NewDriver(New(cfg))
+	first.RunChain(coldReads(2))
+	if !fault.IsTransient(first.Err()) {
+		t.Fatalf("attempt 0 error %v not transient", first.Err())
+	}
+
+	cfg.FaultAttempt = 1
+	retry := mem.NewDriver(New(cfg))
+	retry.RunChain(coldReads(2))
+	if retry.Err() != nil {
+		t.Fatalf("retry attempt still faulted: %v", retry.Err())
+	}
+}
+
+func TestInjectedStallStretchesLatency(t *testing.T) {
+	base := DefaultConfig()
+	base.NV.Media.Capacity = 32 << 20
+	clean := mem.NewDriver(New(base))
+	cleanLats := clean.RunChain(coldReads(8))
+
+	stalled := base
+	stalled.Fault = fault.Spec{Seed: 5, StallRate: 1, StallNs: 50000}
+	d := mem.NewDriver(New(stalled))
+	lats := d.RunChain(coldReads(8))
+	if d.Err() != nil {
+		t.Fatalf("stalls must not fault: %v", d.Err())
+	}
+	var cleanSum, stallSum uint64
+	for i := range lats {
+		cleanSum += uint64(cleanLats[i])
+		stallSum += uint64(lats[i])
+	}
+	if stallSum <= cleanSum*2 {
+		t.Fatalf("stall spikes invisible: clean %d cycles, stalled %d", cleanSum, stallSum)
+	}
+}
+
+func TestFaultRunsAreDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NV.Media.Capacity = 32 << 20
+	cfg.Fault = fault.Spec{Seed: 77, PoisonRate: 0.3, StallRate: 0.2, StallNs: 20000}
+	run := func() ([]uint64, int) {
+		d := mem.NewDriver(New(cfg))
+		lats := d.RunChain(coldReads(64))
+		out := make([]uint64, len(lats))
+		for i, l := range lats {
+			out[i] = uint64(l)
+		}
+		return out, d.Faults()
+	}
+	la, fa := run()
+	lb, fb := run()
+	if fa != fb {
+		t.Fatalf("fault counts diverged: %d vs %d", fa, fb)
+	}
+	if fa == 0 {
+		t.Fatal("no faults at 30% over 64 reads")
+	}
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatalf("latency %d diverged: %d vs %d", i, la[i], lb[i])
+		}
+	}
+}

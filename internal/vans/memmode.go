@@ -72,25 +72,30 @@ func (c *nearCache) dramAccess(addr uint64, write bool, done func()) {
 }
 
 // read serves a 64B load. Hit: DRAM timing. Miss: NVDIMM read, install,
-// write back the displaced dirty line.
-func (c *nearCache) read(addr uint64, done func()) bool {
+// write back the displaced dirty line. A poisoned far read surfaces through
+// done and is never installed in the cache.
+func (c *nearCache) read(addr uint64, done func(error)) bool {
 	line := addr - addr%64
 	c.inflight++
-	finish := func() {
+	finish := func(err error) {
 		c.inflight--
-		done()
+		done(err)
 	}
 	if c.lookup(line) {
 		c.hits++
-		c.dramAccess(line, false, finish)
+		c.dramAccess(line, false, func() { finish(nil) })
 		return true
 	}
 	c.misses++
-	if !c.imc.Read(line, func() {
+	if !c.imc.Read(line, func(err error) {
+		if err != nil {
+			finish(err)
+			return
+		}
 		c.install(line, false)
 		// The fill write to near DRAM is off the critical path.
 		c.dramAccess(line, true, nil)
-		finish()
+		finish(nil)
 	}) {
 		c.inflight--
 		return false
@@ -98,7 +103,9 @@ func (c *nearCache) read(addr uint64, done func()) bool {
 	return true
 }
 
-// write serves a 64B store with write-allocate semantics.
+// write serves a 64B store with write-allocate semantics. A poisoned
+// allocate-fill does not fail the store: the new data overwrites the
+// unreadable line.
 func (c *nearCache) write(addr uint64, done func()) bool {
 	line := addr - addr%64
 	c.inflight++
@@ -113,7 +120,7 @@ func (c *nearCache) write(addr uint64, done func()) bool {
 		return true
 	}
 	c.misses++
-	if !c.imc.Read(line, func() {
+	if !c.imc.Read(line, func(error) {
 		c.install(line, true)
 		c.dramAccess(line, true, finish)
 	}) {

@@ -16,6 +16,8 @@ type DIMMSnapshot struct {
 	MediaReads    uint64 `json:"media_reads"`
 	MediaWrites   uint64 `json:"media_writes"`
 	Migrations    uint64 `json:"migrations"`
+	MediaPoison   uint64 `json:"media_poison,omitempty"`
+	FaultStalls   uint64 `json:"fault_stalls,omitempty"`
 }
 
 // Snapshot aggregates the whole system's counters at a point in time.
@@ -24,6 +26,8 @@ type Snapshot struct {
 	MediaReads  uint64         `json:"media_reads"`
 	MediaWrites uint64         `json:"media_writes"`
 	Migrations  uint64         `json:"migrations"`
+	MediaPoison uint64         `json:"media_poison,omitempty"`
+	FaultStalls uint64         `json:"fault_stalls,omitempty"`
 }
 
 // Snapshot captures the current per-DIMM and aggregate counters. The result
@@ -47,10 +51,14 @@ func (s *System) Snapshot() Snapshot {
 			MediaReads:    ms.Reads,
 			MediaWrites:   ms.Writes,
 			Migrations:    st.Migrations,
+			MediaPoison:   st.MediaPoison,
+			FaultStalls:   st.FaultStalls,
 		})
 		snap.MediaReads += ms.Reads
 		snap.MediaWrites += ms.Writes
 		snap.Migrations += st.Migrations
+		snap.MediaPoison += st.MediaPoison
+		snap.FaultStalls += st.FaultStalls
 	}
 	return snap
 }

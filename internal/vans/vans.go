@@ -8,6 +8,7 @@ package vans
 
 import (
 	"repro/internal/dram"
+	"repro/internal/fault"
 	"repro/internal/imc"
 	"repro/internal/mem"
 	"repro/internal/nvdimm"
@@ -50,6 +51,11 @@ type Config struct {
 	Seed uint64
 	// Functional enables data-content tracking end to end.
 	Functional bool
+	// Fault configures deterministic fault injection (zero value: disabled).
+	Fault fault.Spec
+	// FaultAttempt is the retry attempt number; transient faults fire only
+	// on attempt 0, so a retried run deterministically succeeds.
+	FaultAttempt int
 }
 
 // DefaultConfig returns a single non-interleaved App Direct DIMM, the
@@ -94,7 +100,18 @@ func New(cfg Config) *System {
 	eng := sim.NewEngine()
 	s := &System{eng: eng, cfg: cfg}
 	for i := 0; i < cfg.DIMMs; i++ {
-		s.dimms = append(s.dimms, nvdimm.New(eng, cfg.NV, cfg.Seed+uint64(i)*7919))
+		nvCfg := cfg.NV
+		if cfg.Fault.Enabled() {
+			// Each DIMM gets its own injector with a derived seed so fault
+			// placement is deterministic regardless of DIMM count.
+			sp := cfg.Fault
+			if sp.Seed == 0 {
+				sp.Seed = 1
+			}
+			sp.Seed += uint64(i) * 0x9e3779b9
+			nvCfg.Injector = fault.NewInjector(sp, cfg.FaultAttempt)
+		}
+		s.dimms = append(s.dimms, nvdimm.New(eng, nvCfg, cfg.Seed+uint64(i)*7919))
 	}
 	s.imc = imc.New(eng, cfg.IMC, s.dimms)
 	if cfg.Mode == MemoryMode {
@@ -140,7 +157,7 @@ func (s *System) Submit(r *mem.Request) bool {
 	}
 	switch r.Op {
 	case mem.OpRead:
-		ok := s.imc.Read(r.Addr, func() { r.Complete(s.eng.Now()) })
+		ok := s.imc.Read(r.Addr, func(err error) { r.CompleteErr(s.eng.Now(), err) })
 		if ok {
 			r.Issued = s.eng.Now()
 		}
@@ -163,7 +180,7 @@ func (s *System) Submit(r *mem.Request) bool {
 func (s *System) submitMemoryMode(r *mem.Request) bool {
 	switch r.Op {
 	case mem.OpRead:
-		ok := s.cache.read(r.Addr, func() { r.Complete(s.eng.Now()) })
+		ok := s.cache.read(r.Addr, func(err error) { r.CompleteErr(s.eng.Now(), err) })
 		if ok {
 			r.Issued = s.eng.Now()
 		}
@@ -212,6 +229,16 @@ func (s *System) MediaStats() (reads, writes uint64) {
 		writes += st.Writes
 	}
 	return reads, writes
+}
+
+// FaultStats sums injected-fault counters across DIMMs.
+func (s *System) FaultStats() (poison, stalls uint64) {
+	for _, d := range s.dimms {
+		st := d.Stats()
+		poison += st.MediaPoison
+		stalls += st.FaultStalls
+	}
+	return poison, stalls
 }
 
 // Migrations sums wear-leveling migrations across DIMMs.
