@@ -1,12 +1,27 @@
 GO ?= go
 
-.PHONY: ci build vet test race fmt-check fmt fuzz-smoke fuzz
+# Packages with benchmarks: the figure suite at the root and the event
+# engine microbenchmarks.
+BENCH_PKGS = ./ ./internal/sim/
+
+.PHONY: ci build vet test race fmt-check fmt fuzz-smoke fuzz bench bench-smoke
 
 # ci is the gate: vet, build, the full suite under the race detector
 # (including the nvmserved integration tests and the randomized ADR
-# crash-consistency property test), a short fuzz smoke per target, and a
-# gofmt check.
-ci: vet build race fuzz-smoke fmt-check
+# crash-consistency property test), a short fuzz smoke per target, a
+# single-iteration bench smoke, and a gofmt check.
+ci: vet build race fuzz-smoke bench-smoke fmt-check
+
+# bench refreshes BENCH_quick.json, the checked-in performance snapshot:
+# every benchmark three times with allocation stats, averaged per name.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -count 3 $(BENCH_PKGS) \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_quick.json
+
+# bench-smoke runs each benchmark once — catches benchmarks that broke
+# without paying for a measurement-grade run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x $(BENCH_PKGS)
 
 # fuzz-smoke runs each fuzz target briefly off the checked-in seed corpus —
 # enough to catch parser/validator regressions without stalling the gate.

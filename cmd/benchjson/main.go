@@ -1,0 +1,94 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// object mapping benchmark name to its metrics (ns/op, B/op, allocs/op),
+// averaging repeated runs (-count N). make bench uses it to produce
+// BENCH_quick.json, the checked-in performance snapshot.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metrics is one benchmark's averaged result.
+type Metrics struct {
+	NsPerOp     float64 `json:"ns_op"`
+	BytesPerOp  float64 `json:"b_op"`
+	AllocsPerOp float64 `json:"allocs_op"`
+	Runs        int     `json:"runs"`
+}
+
+func main() {
+	sums := map[string]*Metrics{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		// Name-GOMAXPROCS, iterations, then value/unit pairs.
+		if len(f) < 4 {
+			continue
+		}
+		name := f[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			name = name[:i]
+		}
+		m := sums[name]
+		if m == nil {
+			m = &Metrics{}
+			sums[name] = m
+		}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			switch f[i+1] {
+			case "ns/op":
+				m.NsPerOp += v
+				m.Runs++
+			case "B/op":
+				m.BytesPerOp += v
+			case "allocs/op":
+				m.AllocsPerOp += v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	names := make([]string, 0, len(sums))
+	for n, m := range sums {
+		if m.Runs == 0 {
+			continue
+		}
+		m.NsPerOp /= float64(m.Runs)
+		m.BytesPerOp /= float64(m.Runs)
+		m.AllocsPerOp /= float64(m.Runs)
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	// Render with stable key order so the checked-in file diffs cleanly.
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	fmt.Fprintln(out, "{")
+	for i, n := range names {
+		b, _ := json.Marshal(sums[n])
+		comma := ","
+		if i == len(names)-1 {
+			comma = ""
+		}
+		fmt.Fprintf(out, "  %q: %s%s\n", n, b, comma)
+	}
+	fmt.Fprintln(out, "}")
+}

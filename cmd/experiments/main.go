@@ -4,7 +4,12 @@
 //
 //	experiments -list
 //	experiments -id fig5a [-scale quick|paper]
-//	experiments -all [-scale quick|paper]
+//	experiments -all [-scale quick|paper] [-j N]
+//
+// Experiments and their sweep points run across a bounded worker pool
+// (-j, default GOMAXPROCS). Every sweep point builds a fresh system from
+// fixed seeds, so stdout is byte-identical regardless of -j; timing and
+// per-experiment status go to stderr.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/exp"
+	"repro/internal/pool"
 )
 
 func main() {
@@ -24,8 +30,10 @@ func main() {
 		list  = flag.Bool("list", false, "list experiment ids")
 		scale = flag.String("scale", "quick", "quick or paper")
 		plot  = flag.Bool("plot", false, "render series as ASCII charts")
+		jobs  = flag.Int("j", 0, "worker pool size for experiments and sweep points (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	pool.SetWorkers(*jobs)
 
 	if *list {
 		for _, eid := range exp.IDs() {
@@ -49,19 +57,31 @@ func main() {
 		os.Exit(2)
 	}
 
-	for _, eid := range ids {
-		start := time.Now()
-		r, err := exp.Run(eid, sc)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	start := time.Now()
+	outs := exp.RunMany(ids, sc)
+
+	// A failing experiment no longer aborts the batch: print every result,
+	// summarize failures on stderr, and exit non-zero at the end.
+	var failed []string
+	for _, o := range outs {
+		if o.Err != nil {
+			failed = append(failed, o.ID)
+			fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", o.ID, o.Err)
+			continue
 		}
-		fmt.Print(r.String())
-		if *plot && len(r.Series) > 0 {
+		fmt.Print(o.Res.String())
+		if *plot && len(o.Res.Series) > 0 {
 			opt := analysis.DefaultPlotOptions()
 			opt.LogX = true
-			fmt.Print(analysis.Plot(r.Series, opt))
+			fmt.Print(analysis.Plot(o.Res.Series, opt))
 		}
-		fmt.Printf("(%s scale, %v)\n\n", sc.Name, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s scale)\n\n", sc.Name)
+		fmt.Fprintf(os.Stderr, "ok   %s (%v)\n", o.ID, o.Elapsed.Round(time.Millisecond))
+	}
+	fmt.Fprintf(os.Stderr, "%d/%d experiments ok, %d workers, %v total\n",
+		len(outs)-len(failed), len(outs), pool.Workers(), time.Since(start).Round(time.Millisecond))
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "failed: %v\n", failed)
+		os.Exit(1)
 	}
 }

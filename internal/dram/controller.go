@@ -187,13 +187,18 @@ func (c *Controller) completeWhenDrained(r *mem.Request) {
 	c.eng.After(c.cfg.Timing.TBurst, func() { c.completeWhenDrained(r) })
 }
 
+// ctrlServiceNext adapts serviceNext to the engine's allocation-free
+// recurring callback form: the scheduler loop re-arms itself once per
+// request, so method-value closures here would allocate per access.
+func ctrlServiceNext(a any) { a.(*Controller).serviceNext() }
+
 // kick schedules the scheduler loop if it is not already running.
 func (c *Controller) kick() {
 	if c.busy {
 		return
 	}
 	c.busy = true
-	c.eng.After(0, c.serviceNext)
+	c.eng.AfterFn(0, ctrlServiceNext, c)
 }
 
 // pickNext selects the next queued request index per policy.
@@ -379,7 +384,7 @@ func (c *Controller) serviceNext() {
 		c.busy = false
 		return
 	}
-	c.eng.Schedule(next, c.serviceNext)
+	c.eng.ScheduleFn(next, ctrlServiceNext, c)
 }
 
 func (c *Controller) emit(cmd Cmd) {

@@ -10,10 +10,12 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/lens"
 	"repro/internal/optane"
+	"repro/internal/pool"
 )
 
 // Result is one regenerated artifact.
@@ -161,6 +163,27 @@ func Run(id string, sc Scale) (*Result, error) {
 			id, strings.Join(IDs(), ", "))
 	}
 	return e.Run(sc), nil
+}
+
+// Outcome pairs one experiment id with its result or error.
+type Outcome struct {
+	ID      string
+	Res     *Result
+	Err     error
+	Elapsed time.Duration
+}
+
+// RunMany executes the given experiments across the pool's worker budget and
+// returns outcomes in input order. Every experiment builds its own systems
+// from fixed seeds, so concurrent runs are byte-identical to sequential ones.
+func RunMany(ids []string, sc Scale) []Outcome {
+	out := make([]Outcome, len(ids))
+	pool.ForEach(len(ids), func(i int) {
+		start := time.Now()
+		r, err := Run(ids[i], sc)
+		out[i] = Outcome{ID: ids[i], Res: r, Err: err, Elapsed: time.Since(start)}
+	})
+	return out
 }
 
 // refParams returns Optane reference parameters scaled to match the scaled

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/lens"
 	"repro/internal/mem"
+	"repro/internal/pool"
 	"repro/internal/vans"
 	"repro/internal/workload"
 )
@@ -64,10 +65,13 @@ func fig5c(sc Scale) *Result {
 			regions = append(regions, reg)
 		}
 	}
-	for _, reg := range regions {
-		res := lens.ReadAfterWrite(mk, reg, sc.Opt)
-		raw.Add(float64(reg), res.RaWNs)
-		rpw.Add(float64(reg), res.RPlusWNs)
+	results := make([]lens.RaWResult, len(regions))
+	pool.ForEach(len(regions), func(i int) {
+		results[i] = lens.ReadAfterWrite(mk, regions[i], sc.Opt)
+	})
+	for i, reg := range regions {
+		raw.Add(float64(reg), results[i].RaWNs)
+		rpw.Add(float64(reg), results[i].RPlusWNs)
 	}
 	r.Series = append(r.Series, raw, rpw)
 	small := raw.Y[0] / rpw.Y[0]
@@ -114,11 +118,18 @@ func chaseLoads(nodes, hops int, stride uint64) cpu.Workload {
 func fig5d(sc Scale) *Result {
 	r := &Result{ID: "fig5d", Title: "L2 TLB MPKI in the load test"}
 	s := &analysis.Series{Name: "L2 TLB MPKI", XLabel: "region (bytes)", YLabel: "MPKI"}
+	var regions []uint64
 	for _, reg := range sc.Regions {
-		if reg < 4096 || reg > 4<<20 {
-			continue
+		if reg >= 4096 && reg <= 4<<20 {
+			regions = append(regions, reg)
 		}
-		s.Add(float64(reg), chaseTLB(sc, reg))
+	}
+	mpki := make([]float64, len(regions))
+	pool.ForEach(len(regions), func(i int) {
+		mpki[i] = chaseTLB(sc, regions[i])
+	})
+	for i, reg := range regions {
+		s.Add(float64(reg), mpki[i])
 	}
 	r.Series = append(r.Series, s)
 	knees := analysis.Knees(s, 3.0)
@@ -131,10 +142,14 @@ func ampScores(mk lens.MakeSystem, overflow, fit uint64, blockSizes []uint64,
 	op mem.Op, opt lens.Options) *analysis.Series {
 	s := &analysis.Series{Name: "amplification score",
 		XLabel: "PC-Block size (bytes)", YLabel: "score"}
-	for _, bs := range blockSizes {
-		over := lens.PtrChase(mk, overflow, bs, op, opt)
-		in := lens.PtrChase(mk, fit, bs, op, opt)
-		s.Add(float64(bs), analysis.AmplificationScore(over, in))
+	scores := make([]float64, len(blockSizes))
+	pool.ForEach(len(blockSizes), func(i int) {
+		over := lens.PtrChase(mk, overflow, blockSizes[i], op, opt)
+		in := lens.PtrChase(mk, fit, blockSizes[i], op, opt)
+		scores[i] = analysis.AmplificationScore(over, in)
+	})
+	for i, bs := range blockSizes {
+		s.Add(float64(bs), scores[i])
 	}
 	return s
 }
@@ -175,9 +190,15 @@ func fig7a(sc Scale) *Result {
 	sizes := analysis.LogSpace(1<<10, 16<<10, 2)
 	one := &analysis.Series{Name: "1 DIMM", XLabel: "access size (bytes)", YLabel: "exec time (ns)"}
 	six := &analysis.Series{Name: "6 DIMMs", XLabel: "access size (bytes)", YLabel: "exec time (ns)"}
-	for _, sz := range sizes {
-		one.Add(float64(sz), lens.SeqWriteTime(mkVANS(sc, 1, false), sz, sc.Opt))
-		six.Add(float64(sz), lens.SeqWriteTime(mkVANS(sc, 6, true), sz, sc.Opt))
+	oneNs := make([]float64, len(sizes))
+	sixNs := make([]float64, len(sizes))
+	pool.ForEach(len(sizes), func(i int) {
+		oneNs[i] = lens.SeqWriteTime(mkVANS(sc, 1, false), sizes[i], sc.Opt)
+		sixNs[i] = lens.SeqWriteTime(mkVANS(sc, 6, true), sizes[i], sc.Opt)
+	})
+	for i, sz := range sizes {
+		one.Add(float64(sz), oneNs[i])
+		six.Add(float64(sz), sixNs[i])
 	}
 	r.Series = append(r.Series, one, six)
 	at4k := one.YAt(4096) / six.YAt(4096)
@@ -214,7 +235,9 @@ func fig7c(sc Scale) *Result {
 	wearBlock := cfg.NV.Media.WearBlock
 	regions := analysis.LogSpace(256, wearBlock*4, 4)
 	totalBytes := uint64(sc.OverwriteIters) * 256 * 4
-	for _, reg := range regions {
+	rates := make([]float64, len(regions))
+	pool.ForEach(len(regions), func(i int) {
+		reg := regions[i]
 		iters := int(totalBytes / reg)
 		if iters < 40 {
 			iters = 40
@@ -225,7 +248,10 @@ func fig7c(sc Scale) *Result {
 		sys := vans.New(cfg)
 		lats := lens.Overwrite(sys, 0, reg, iters)
 		ts := analysis.Tails(lats, 8)
-		s.Add(float64(reg), float64(ts.Tails)/(float64(reg)*float64(iters)/1024))
+		rates[i] = float64(ts.Tails) / (float64(reg) * float64(iters) / 1024)
+	})
+	for i, reg := range regions {
+		s.Add(float64(reg), rates[i])
 	}
 	r.Series = append(r.Series, s)
 	small := s.Y[0]

@@ -343,13 +343,20 @@ func (ch *Channel) pendingData(addr uint64, data []byte) {
 	ch.dimm.AcceptWriteData(addr, data)
 }
 
+// chanDrainStep / chanDrainPush adapt the WPQ drain engine to the engine's
+// allocation-free recurring callback form (AfterFn): the drain loop fires
+// twice per drained entry for as long as stores flow, so closures here would
+// be a steady allocation stream.
+func chanDrainStep(a any) { a.(*Channel).drainStep() }
+func chanDrainPush(a any) { a.(*Channel).drainPush() }
+
 // kickDrain starts the WPQ drain engine.
 func (ch *Channel) kickDrain() {
 	if ch.draining {
 		return
 	}
 	ch.draining = true
-	ch.eng.After(1, ch.drainStep)
+	ch.eng.AfterFn(1, chanDrainStep, ch)
 }
 
 // drainStep pushes one WPQ entry per iteration to the DIMM LSQ over the
@@ -367,15 +374,19 @@ func (ch *Channel) drainStep() {
 		ch.haveDrain = true
 	}
 	start := ch.bus.acquire(ch.eng.Now(), true)
-	ch.eng.Schedule(start+ch.transferCyc, func() {
-		if !ch.dimm.AcceptWrite(ch.drainLine, nil) {
-			// LSQ full: hold the line and retry after a drain interval.
-			ch.eng.After(ch.drainCyc, ch.drainStep)
-			return
-		}
-		ch.haveDrain = false
-		ch.eng.After(ch.drainCyc, ch.drainStep)
-	})
+	ch.eng.ScheduleFn(start+ch.transferCyc, chanDrainPush, ch)
+}
+
+// drainPush completes one drain hop after the bus transfer: offer the held
+// line to the DIMM, then pace the next drain decision.
+func (ch *Channel) drainPush() {
+	if !ch.dimm.AcceptWrite(ch.drainLine, nil) {
+		// LSQ full: hold the line and retry after a drain interval.
+		ch.eng.AfterFn(ch.drainCyc, chanDrainStep, ch)
+		return
+	}
+	ch.haveDrain = false
+	ch.eng.AfterFn(ch.drainCyc, chanDrainStep, ch)
 }
 
 // fence drains the WPQ then flushes the DIMM.

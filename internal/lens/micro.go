@@ -10,6 +10,7 @@ package lens
 import (
 	"repro/internal/analysis"
 	"repro/internal/mem"
+	"repro/internal/pool"
 	"repro/internal/sim"
 )
 
@@ -123,8 +124,14 @@ func PtrChaseSweep(mk MakeSystem, regions []uint64, blockSize uint64, op mem.Op,
 		XLabel: "access region (bytes)",
 		YLabel: "latency per CL (ns)",
 	}
-	for _, r := range regions {
-		s.Add(float64(r), PtrChase(mk, r, blockSize, op, opt))
+	// Each sweep point builds a fresh system from fixed seeds, so points run
+	// concurrently and land in their slot — output matches a sequential run.
+	lat := make([]float64, len(regions))
+	pool.ForEach(len(regions), func(i int) {
+		lat[i] = PtrChase(mk, regions[i], blockSize, op, opt)
+	})
+	for i, r := range regions {
+		s.Add(float64(r), lat[i])
 	}
 	return s
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/mem"
+	"repro/internal/pool"
 )
 
 // BufferReport is what the buffer prober reverse-engineers (Figure 4's blue
@@ -74,12 +75,13 @@ func BufferProber(mk MakeSystem, cfg BufferProberConfig) BufferReport {
 			overflow = rep.ReadBufferBytes[1]
 		}
 		fit := rep.ReadBufferBytes[0] / 2
-		var scores []float64
-		for _, bs := range cfg.BlockSizes {
+		scores := make([]float64, len(cfg.BlockSizes))
+		pool.ForEach(len(cfg.BlockSizes), func(i int) {
+			bs := cfg.BlockSizes[i]
 			over := PtrChase(mk, overflow, bs, mem.OpRead, cfg.Options)
 			in := PtrChase(mk, fit, bs, mem.OpRead, cfg.Options)
-			scores = append(scores, analysis.AmplificationScore(over, in))
-		}
+			scores[i] = analysis.AmplificationScore(over, in)
+		})
 		rep.ReadGranularity = analysis.ScoreKnees(cfg.BlockSizes, scores, 0.05)
 		if len(rep.ReadGranularity) > len(rep.ReadBufferBytes) {
 			rep.ReadGranularity = rep.ReadGranularity[:len(rep.ReadBufferBytes)]
@@ -177,10 +179,9 @@ func PolicyProber(mk MakeSystem, cfg PolicyProberConfig) PolicyReport {
 	rep.TailRatioByRegion = &analysis.Series{
 		Name: "tail-ratio", XLabel: "overwrite region (bytes)", YLabel: "tails per KB written"}
 	totalBytes := uint64(cfg.OverwriteIters) * 256
-	var prevRate float64
-	rep.MigrationBlockBytes = cfg.Regions[len(cfg.Regions)-1]
-	found := false
-	for _, region := range cfg.Regions {
+	rates := make([]float64, len(cfg.Regions))
+	pool.ForEach(len(cfg.Regions), func(i int) {
+		region := cfg.Regions[i]
 		iters := int(totalBytes / region)
 		if iters < 50 {
 			iters = 50
@@ -188,7 +189,13 @@ func PolicyProber(mk MakeSystem, cfg PolicyProberConfig) PolicyReport {
 		s := mk()
 		l := Overwrite(s, 0, region, iters)
 		ts := analysis.Tails(l, cfg.TailFactor)
-		rate := float64(ts.Tails) / (float64(region) * float64(iters) / 1024)
+		rates[i] = float64(ts.Tails) / (float64(region) * float64(iters) / 1024)
+	})
+	var prevRate float64
+	rep.MigrationBlockBytes = cfg.Regions[len(cfg.Regions)-1]
+	found := false
+	for i, region := range cfg.Regions {
+		rate := rates[i]
 		rep.TailRatioByRegion.Add(float64(region), rate)
 		if !found && prevRate > 0 && rate < prevRate/4 {
 			rep.MigrationBlockBytes = region
@@ -202,8 +209,12 @@ func PolicyProber(mk MakeSystem, cfg PolicyProberConfig) PolicyReport {
 	// DIMMs engage).
 	rep.SeqWriteCurve = &analysis.Series{
 		Name: "seq-write", XLabel: "access size (bytes)", YLabel: "execution time (ns)"}
-	for _, sz := range cfg.SeqSizes {
-		rep.SeqWriteCurve.Add(float64(sz), SeqWriteTime(mk, sz, cfg.Options))
+	seqNs := make([]float64, len(cfg.SeqSizes))
+	pool.ForEach(len(cfg.SeqSizes), func(i int) {
+		seqNs[i] = SeqWriteTime(mk, cfg.SeqSizes[i], cfg.Options)
+	})
+	for i, sz := range cfg.SeqSizes {
+		rep.SeqWriteCurve.Add(float64(sz), seqNs[i])
 	}
 	rep.InterleaveBytes = detectInterleave(rep.SeqWriteCurve)
 	return rep

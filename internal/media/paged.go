@@ -1,0 +1,106 @@
+package media
+
+// Two-level paged stores backing the media model's wear ledger and
+// functional data image. They replace the former map[uint64]-keyed stores on
+// the access hot path: a dense directory indexed by line number points at
+// lazily allocated leaves, so lookups are two array indexes instead of a
+// hash probe, while never-touched regions cost only a nil directory slot —
+// the same sparse-address behavior the maps provided (absent == zero).
+
+const (
+	counterLeafShift = 9
+	counterLeafSize  = 1 << counterLeafShift // 512 uint64s = one 4KB page
+)
+
+// pagedU64 is a paged array of uint64 counters over the index space [0, n).
+// Absent entries read as 0, mirroring the map semantics it replaces.
+type pagedU64 struct {
+	leaves [][]uint64
+}
+
+func newPagedU64(n uint64) *pagedU64 {
+	return &pagedU64{leaves: make([][]uint64, (n+counterLeafSize-1)>>counterLeafShift)}
+}
+
+func (p *pagedU64) get(i uint64) uint64 {
+	if l := p.leaves[i>>counterLeafShift]; l != nil {
+		return l[i&(counterLeafSize-1)]
+	}
+	return 0
+}
+
+func (p *pagedU64) set(i, v uint64) {
+	li := i >> counterLeafShift
+	l := p.leaves[li]
+	if l == nil {
+		if v == 0 {
+			return // zero is the default; keep the region sparse
+		}
+		l = make([]uint64, counterLeafSize)
+		p.leaves[li] = l
+	}
+	l[i&(counterLeafSize-1)] = v
+}
+
+// forEach visits every nonzero entry in index order.
+func (p *pagedU64) forEach(fn func(i, v uint64)) {
+	for li, l := range p.leaves {
+		if l == nil {
+			continue
+		}
+		base := uint64(li) << counterLeafShift
+		for j, v := range l {
+			if v != 0 {
+				fn(base+uint64(j), v)
+			}
+		}
+	}
+}
+
+// dataLeafBlocks is the functional-store slab granularity: each leaf holds
+// this many contiguous media blocks (16KB of data at the 256B block size).
+const dataLeafBlocks = 64
+
+// pagedData is the functional data image: a directory of lazily allocated
+// byte slabs indexed by media block number. Never-written blocks read as
+// zeroes, matching the sparse map it replaces.
+type pagedData struct {
+	blockSize uint64
+	leaves    [][]byte
+}
+
+func newPagedData(blockSize, capacity uint64) *pagedData {
+	blocks := (capacity + blockSize - 1) / blockSize
+	n := (blocks + dataLeafBlocks - 1) / dataLeafBlocks
+	return &pagedData{blockSize: blockSize, leaves: make([][]byte, n)}
+}
+
+// block returns the backing bytes of media block i, allocating the covering
+// slab when alloc is set. Without alloc it returns nil for never-written
+// slabs (callers treat that as all-zero).
+func (p *pagedData) block(i uint64, alloc bool) []byte {
+	li := i / dataLeafBlocks
+	l := p.leaves[li]
+	if l == nil {
+		if !alloc {
+			return nil
+		}
+		l = make([]byte, dataLeafBlocks*p.blockSize)
+		p.leaves[li] = l
+	}
+	off := (i % dataLeafBlocks) * p.blockSize
+	return l[off : off+p.blockSize : off+p.blockSize]
+}
+
+// adoptFrom deep-copies another image's allocated slabs into this one
+// (power-fail recovery: the media image is persistent).
+func (p *pagedData) adoptFrom(old *pagedData) {
+	for li, l := range old.leaves {
+		if l == nil {
+			continue
+		}
+		cp := make([]byte, len(l))
+		copy(cp, l)
+		p.leaves[li] = cp
+	}
+}

@@ -84,12 +84,14 @@ type XPoint struct {
 	writeFree []sim.Cycle
 
 	// wear counts writes per wear block since the last ResetWear; wearAt
-	// records the cycle of the last decay application per block.
-	wear   map[uint64]uint64
-	wearAt map[uint64]sim.Cycle
+	// records the cycle of the last decay application per block. Both are
+	// paged arrays indexed by wear-block number.
+	wear   *pagedU64
+	wearAt *pagedU64
 
-	// data holds functional contents, keyed by block-aligned address.
-	data map[uint64][]byte
+	// data holds functional contents in paged slabs indexed by media block
+	// number (nil unless Functional is enabled).
+	data *pagedData
 
 	stats Stats
 }
@@ -121,7 +123,8 @@ func New(eng *sim.Engine, cfg Config) *XPoint {
 	if cfg.Capacity == 0 {
 		cfg.Capacity = def.Capacity
 	}
-	return &XPoint{
+	wearBlocks := (cfg.Capacity + cfg.WearBlock - 1) / cfg.WearBlock
+	x := &XPoint{
 		eng:         eng,
 		cfg:         cfg,
 		readCycles:  dram.NsToCycles(cfg.ReadNs),
@@ -129,10 +132,13 @@ func New(eng *sim.Engine, cfg Config) *XPoint {
 		partFree:    make([]sim.Cycle, cfg.Partitions),
 		readFree:    make([]sim.Cycle, cfg.ReadPorts),
 		writeFree:   make([]sim.Cycle, cfg.WritePorts),
-		wear:        make(map[uint64]uint64),
-		wearAt:      make(map[uint64]sim.Cycle),
-		data:        make(map[uint64][]byte),
+		wear:        newPagedU64(wearBlocks),
+		wearAt:      newPagedU64(wearBlocks),
 	}
+	if cfg.Functional {
+		x.data = newPagedData(cfg.BlockSize, cfg.Capacity)
+	}
+	return x
 }
 
 // Config returns the effective configuration.
@@ -189,9 +195,9 @@ func (x *XPoint) access(addr uint64, write, background bool, done func()) sim.Cy
 	svc := x.readCycles
 	if write {
 		svc = x.writeCycles
-		blk := x.wearBlock(addr)
-		x.wear[blk] = x.decayedWear(blk) + 1
-		x.wearAt[blk] = x.eng.Now()
+		blk := x.wearIdx(addr)
+		x.wear.set(blk, x.decayedWear(blk)+1)
+		x.wearAt.set(blk, uint64(x.eng.Now()))
 		x.stats.Writes++
 		x.stats.BytesWrite += x.cfg.BlockSize
 	} else {
@@ -212,20 +218,18 @@ func (x *XPoint) access(addr uint64, write, background bool, done func()) sim.Cy
 	return end
 }
 
-// wearBlock returns the wear-block base address containing addr.
-func (x *XPoint) wearBlock(addr uint64) uint64 {
-	return addr - addr%x.cfg.WearBlock
-}
+// wearIdx returns the wear-block number containing addr.
+func (x *XPoint) wearIdx(addr uint64) uint64 { return addr / x.cfg.WearBlock }
 
-// decayedWear returns blk's counter after applying any pending exponential
-// decay (one halving per elapsed WearDecayCycles window).
+// decayedWear returns wear block blk's counter after applying any pending
+// exponential decay (one halving per elapsed WearDecayCycles window).
 func (x *XPoint) decayedWear(blk uint64) uint64 {
-	c := x.wear[blk]
+	c := x.wear.get(blk)
 	if c == 0 || x.cfg.WearDecayCycles == 0 {
 		return c
 	}
-	elapsed := x.eng.Now() - x.wearAt[blk]
-	halvings := uint64(elapsed) / x.cfg.WearDecayCycles
+	elapsed := uint64(x.eng.Now()) - x.wearAt.get(blk)
+	halvings := elapsed / x.cfg.WearDecayCycles
 	if halvings >= 64 {
 		return 0
 	}
@@ -235,23 +239,21 @@ func (x *XPoint) decayedWear(blk uint64) uint64 {
 // WearCount returns the write count of the wear block containing addr since
 // its last reset, after decay.
 func (x *XPoint) WearCount(addr uint64) uint64 {
-	return x.decayedWear(x.wearBlock(addr % x.cfg.Capacity))
+	return x.decayedWear(x.wearIdx(addr % x.cfg.Capacity))
 }
 
 // ResetWear clears the wear counter of the block containing addr (called by
 // the wear-leveler after migrating the block).
 func (x *XPoint) ResetWear(addr uint64) {
-	blk := x.wearBlock(addr % x.cfg.Capacity)
-	delete(x.wear, blk)
-	delete(x.wearAt, blk)
+	blk := x.wearIdx(addr % x.cfg.Capacity)
+	x.wear.set(blk, 0)
+	x.wearAt.set(blk, 0)
 }
 
 // TotalWear sums all wear counters (test/diagnostic aid).
 func (x *XPoint) TotalWear() uint64 {
 	var sum uint64
-	for _, w := range x.wear {
-		sum += w
-	}
+	x.wear.forEach(func(_, w uint64) { sum += w })
 	return sum
 }
 
@@ -261,15 +263,17 @@ func (x *XPoint) WriteData(addr uint64, data []byte) {
 	if !x.cfg.Functional {
 		return
 	}
-	for i, b := range data {
-		a := (addr + uint64(i)) % x.cfg.Capacity
-		blk := a - a%x.cfg.BlockSize
-		buf, ok := x.data[blk]
-		if !ok {
-			buf = make([]byte, x.cfg.BlockSize)
-			x.data[blk] = buf
+	for len(data) > 0 {
+		a := addr % x.cfg.Capacity
+		off := a % x.cfg.BlockSize
+		n := x.cfg.BlockSize - off
+		if n > uint64(len(data)) {
+			n = uint64(len(data))
 		}
-		buf[a-blk] = b
+		buf := x.data.block(a/x.cfg.BlockSize, true)
+		copy(buf[off:off+n], data[:n])
+		addr += n
+		data = data[n:]
 	}
 }
 
@@ -280,12 +284,19 @@ func (x *XPoint) ReadData(addr uint64, n int) []byte {
 		return nil
 	}
 	out := make([]byte, n)
-	for i := range out {
-		a := (addr + uint64(i)) % x.cfg.Capacity
-		blk := a - a%x.cfg.BlockSize
-		if buf, ok := x.data[blk]; ok {
-			out[i] = buf[a-blk]
+	rest := out
+	for len(rest) > 0 {
+		a := addr % x.cfg.Capacity
+		off := a % x.cfg.BlockSize
+		c := x.cfg.BlockSize - off
+		if c > uint64(len(rest)) {
+			c = uint64(len(rest))
 		}
+		if buf := x.data.block(a/x.cfg.BlockSize, false); buf != nil {
+			copy(rest[:c], buf[off:off+c])
+		}
+		addr += c
+		rest = rest[c:]
 	}
 	return out
 }
@@ -297,15 +308,11 @@ func (x *XPoint) ReadData(addr uint64, n int) []byte {
 // timing state (port and partition reservations) is deliberately not
 // carried over; it did not survive the power loss.
 func (x *XPoint) AdoptPersistent(old *XPoint) {
-	for blk, buf := range old.data {
-		cp := make([]byte, len(buf))
-		copy(cp, buf)
-		x.data[blk] = cp
+	if x.data != nil && old.data != nil {
+		x.data.adoptFrom(old.data)
 	}
-	for blk, w := range old.wear {
-		x.wear[blk] = w
-		x.wearAt[blk] = 0
-	}
+	// Wear counters carry over; decay timestamps restart at cycle 0.
+	old.wear.forEach(func(blk, w uint64) { x.wear.set(blk, w) })
 }
 
 // CopyBlock moves one media block's functional contents from src to dst
@@ -314,11 +321,15 @@ func (x *XPoint) CopyBlock(src, dst uint64) {
 	if !x.cfg.Functional {
 		return
 	}
-	if buf, ok := x.data[src%x.cfg.Capacity]; ok {
-		dstBuf := make([]byte, len(buf))
-		copy(dstBuf, buf)
-		x.data[dst%x.cfg.Capacity] = dstBuf
-	} else {
-		delete(x.data, dst%x.cfg.Capacity)
+	srcIdx := (src % x.cfg.Capacity) / x.cfg.BlockSize
+	dstIdx := (dst % x.cfg.Capacity) / x.cfg.BlockSize
+	srcBuf := x.data.block(srcIdx, false)
+	if srcBuf == nil {
+		// Source never written: the destination must read as zeroes.
+		if dstBuf := x.data.block(dstIdx, false); dstBuf != nil {
+			clear(dstBuf)
+		}
+		return
 	}
+	copy(x.data.block(dstIdx, true), srcBuf)
 }

@@ -1,5 +1,72 @@
 package nvdimm
 
+// identLeafSize is the translation-table paging granularity: 512 entries
+// (one 4KB page of uint64s).
+const identLeafSize = 512
+
+// identPages is a paged array over [0, n) whose default value is the
+// identity (entry i reads as i). Leaves are allocated — and filled with the
+// identity — only when a mapping inside them is first disturbed, so an
+// untouched translation table costs one pointer per 512 pages instead of a
+// hash entry per migrated page.
+type identPages struct {
+	leaves [][]uint64
+}
+
+func newIdentPages(n uint64) *identPages {
+	return &identPages{leaves: make([][]uint64, (n+identLeafSize-1)/identLeafSize)}
+}
+
+func (p *identPages) get(i uint64) uint64 {
+	if l := p.leaves[i/identLeafSize]; l != nil {
+		return l[i%identLeafSize]
+	}
+	return i
+}
+
+func (p *identPages) set(i, v uint64) {
+	li := i / identLeafSize
+	l := p.leaves[li]
+	if l == nil {
+		if v == i {
+			return // already the identity
+		}
+		l = make([]uint64, identLeafSize)
+		base := li * identLeafSize
+		for j := range l {
+			l[j] = base + uint64(j)
+		}
+		p.leaves[li] = l
+	}
+	l[i%identLeafSize] = v
+}
+
+// adoptFrom deep-copies old's allocated leaves into p.
+func (p *identPages) adoptFrom(old *identPages) {
+	for li, l := range old.leaves {
+		if l == nil {
+			continue
+		}
+		cp := make([]uint64, len(l))
+		copy(cp, l)
+		p.leaves[li] = cp
+	}
+}
+
+// mapped counts non-identity entries (test/diagnostic aid).
+func (p *identPages) mapped() int {
+	n := 0
+	for li, l := range p.leaves {
+		base := uint64(li) * identLeafSize
+		for j, v := range l {
+			if v != base+uint64(j) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // Translator is the AIT translation table state: a bijective mapping from
 // CPU-visible 4KB pages to media 4KB frames. It starts as the identity and
 // is permuted by wear-leveling migrations, which swap whole 64KB wear blocks
@@ -7,18 +74,19 @@ package nvdimm
 type Translator struct {
 	pageSize uint64
 	capacity uint64 // media capacity in bytes
-	fwd      map[uint64]uint64
-	rev      map[uint64]uint64
+	fwd      *identPages
+	rev      *identPages
 }
 
 // NewTranslator returns an identity translator over capacity bytes with the
 // given page size.
 func NewTranslator(pageSize, capacity uint64) *Translator {
+	n := capacity / pageSize
 	return &Translator{
 		pageSize: pageSize,
 		capacity: capacity,
-		fwd:      make(map[uint64]uint64),
-		rev:      make(map[uint64]uint64),
+		fwd:      newIdentPages(n),
+		rev:      newIdentPages(n),
 	}
 }
 
@@ -27,20 +95,12 @@ func (t *Translator) pages() uint64 { return t.capacity / t.pageSize }
 
 // Translate maps a CPU page number to its media frame number.
 func (t *Translator) Translate(page uint64) uint64 {
-	page %= t.pages()
-	if f, ok := t.fwd[page]; ok {
-		return f
-	}
-	return page
+	return t.fwd.get(page % t.pages())
 }
 
 // Reverse maps a media frame number back to its CPU page number.
 func (t *Translator) Reverse(frame uint64) uint64 {
-	frame %= t.pages()
-	if p, ok := t.rev[frame]; ok {
-		return p
-	}
-	return frame
+	return t.rev.get(frame % t.pages())
 }
 
 // ToMedia converts a CPU byte address to a media byte address.
@@ -53,12 +113,8 @@ func (t *Translator) ToMedia(addr uint64) uint64 {
 // translation table is persistent metadata on a real DIMM (backed up to
 // media), so power-fail recovery adopts it wholesale.
 func (t *Translator) AdoptFrom(old *Translator) {
-	for p, f := range old.fwd {
-		t.fwd[p] = f
-	}
-	for f, p := range old.rev {
-		t.rev[f] = p
-	}
+	t.fwd.adoptFrom(old.fwd)
+	t.rev.adoptFrom(old.rev)
 }
 
 // SwapPages exchanges the frames of two CPU pages, preserving bijectivity.
@@ -66,18 +122,10 @@ func (t *Translator) SwapPages(pa, pb uint64) {
 	n := t.pages()
 	pa, pb = pa%n, pb%n
 	fa, fb := t.Translate(pa), t.Translate(pb)
-	t.set(pa, fb)
-	t.set(pb, fa)
-}
-
-func (t *Translator) set(page, frame uint64) {
-	if page == frame {
-		delete(t.fwd, page)
-		delete(t.rev, frame)
-		return
-	}
-	t.fwd[page] = frame
-	t.rev[frame] = page
+	t.fwd.set(pa, fb)
+	t.rev.set(fb, pa)
+	t.fwd.set(pb, fa)
+	t.rev.set(fa, pb)
 }
 
 // aitLine is one 4KB line of the AIT data buffer with per-256B sector state.

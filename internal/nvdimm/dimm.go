@@ -450,13 +450,19 @@ func (d *DIMM) AcceptWriteData(addr uint64, data []byte) {
 	}
 }
 
+// dimmDrainStep adapts drainStep to the engine's allocation-free recurring
+// callback form (AfterFn): the drain engine fires once per epoch for the
+// whole life of a store burst, so a closure per hop would be a steady
+// allocation stream.
+func dimmDrainStep(a any) { a.(*DIMM).drainStep() }
+
 // kickDrain schedules the LSQ drain engine if idle.
 func (d *DIMM) kickDrain() {
 	if d.draining {
 		return
 	}
 	d.draining = true
-	d.eng.After(d.cyc.lsqEpoch, d.drainStep)
+	d.eng.AfterFn(d.cyc.lsqEpoch, dimmDrainStep, d)
 }
 
 // drainStep is the LSQ scheduling epoch: drain groups while the occupancy
@@ -474,7 +480,7 @@ func (d *DIMM) drainStep() {
 	// Flow control: the drain engine never runs ahead of what the RMW/AIT
 	// path can absorb, regardless of the drain trigger.
 	if !mustDrain || d.writesInFlight >= maxInternalWrites {
-		d.eng.After(d.cyc.lsqEpoch, d.drainStep)
+		d.eng.AfterFn(d.cyc.lsqEpoch, dimmDrainStep, d)
 		return
 	}
 	g, ok := d.lsq.PopGroup()
@@ -489,7 +495,7 @@ func (d *DIMM) drainStep() {
 	if next <= now {
 		next = now + 1
 	}
-	d.eng.Schedule(next, d.drainStep)
+	d.eng.ScheduleFn(next, dimmDrainStep, d)
 }
 
 // processGroup applies one combined write group to the RMW buffer. Partial

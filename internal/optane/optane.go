@@ -104,11 +104,23 @@ func DefaultConfig() Config {
 }
 
 // lruSet is a behavioral capacity tracker: an LRU set of block addresses.
+// Recency is an intrusive doubly-linked list over a preallocated node slab,
+// so refreshes and evictions are O(1). The victim is always the list tail,
+// which matches the former timestamp-scan implementation exactly (ticks were
+// unique, so least-tick == least-recently-touched).
 type lruSet struct {
-	blocks  map[uint64]uint64
+	idx     map[uint64]int32
+	nodes   []lruNode
+	used    int32 // nodes handed out so far
+	head    int32 // most recently used, -1 when empty
+	tail    int32 // least recently used, -1 when empty
 	entries int
 	grain   uint64
-	tick    uint64
+}
+
+type lruNode struct {
+	key        uint64
+	prev, next int32
 }
 
 func newLRUSet(capacity, grain uint64) *lruSet {
@@ -116,34 +128,80 @@ func newLRUSet(capacity, grain uint64) *lruSet {
 	if n < 1 {
 		n = 1
 	}
-	return &lruSet{blocks: make(map[uint64]uint64, n), entries: n, grain: grain}
+	return &lruSet{
+		idx:     make(map[uint64]int32, n),
+		nodes:   make([]lruNode, n),
+		head:    -1,
+		tail:    -1,
+		entries: n,
+		grain:   grain,
+	}
 }
 
 func (s *lruSet) key(addr uint64) uint64 { return addr - addr%s.grain }
 
+func (s *lruSet) size() int { return len(s.idx) }
+
+// reset drops all entries (fence drain) without releasing the node slab.
+func (s *lruSet) reset() {
+	clear(s.idx)
+	s.used = 0
+	s.head, s.tail = -1, -1
+}
+
+func (s *lruSet) unlink(i int32) {
+	n := &s.nodes[i]
+	if n.prev >= 0 {
+		s.nodes[n.prev].next = n.next
+	} else {
+		s.head = n.next
+	}
+	if n.next >= 0 {
+		s.nodes[n.next].prev = n.prev
+	} else {
+		s.tail = n.prev
+	}
+}
+
+func (s *lruSet) pushFront(i int32) {
+	n := &s.nodes[i]
+	n.prev, n.next = -1, s.head
+	if s.head >= 0 {
+		s.nodes[s.head].prev = i
+	}
+	s.head = i
+	if s.tail < 0 {
+		s.tail = i
+	}
+}
+
 // touch inserts/refreshes the block containing addr; reports prior presence.
 func (s *lruSet) touch(addr uint64) bool {
 	k := s.key(addr)
-	s.tick++
-	if _, ok := s.blocks[k]; ok {
-		s.blocks[k] = s.tick
+	if i, ok := s.idx[k]; ok {
+		if s.head != i {
+			s.unlink(i)
+			s.pushFront(i)
+		}
 		return true
 	}
-	if len(s.blocks) >= s.entries {
-		var va, vt uint64 = 0, ^uint64(0)
-		for a, t := range s.blocks {
-			if t < vt {
-				va, vt = a, t
-			}
-		}
-		delete(s.blocks, va)
+	var i int32
+	if len(s.idx) >= s.entries {
+		i = s.tail
+		delete(s.idx, s.nodes[i].key)
+		s.unlink(i)
+	} else {
+		i = s.used
+		s.used++
 	}
-	s.blocks[k] = s.tick
+	s.nodes[i].key = k
+	s.idx[k] = i
+	s.pushFront(i)
 	return false
 }
 
 func (s *lruSet) contains(addr uint64) bool {
-	_, ok := s.blocks[s.key(addr)]
+	_, ok := s.idx[s.key(addr)]
 	return ok
 }
 
@@ -306,11 +364,11 @@ func (s *System) Submit(r *mem.Request) bool {
 		latNs += s.tailNs(r.Addr)
 	case mem.OpFence:
 		// mfence: fixed on-core cost plus draining pending structures.
-		entries := len(s.wpq[di].blocks) + len(s.lsq[di].blocks)
+		entries := s.wpq[di].size() + s.lsq[di].size()
 		latNs = s.p.FenceBaseNs + float64(entries)*s.p.FenceEntryNs
 		for i := range s.wpq {
-			s.wpq[i].blocks = make(map[uint64]uint64, s.wpq[i].entries)
-			s.lsq[i].blocks = make(map[uint64]uint64, s.lsq[i].entries)
+			s.wpq[i].reset()
+			s.lsq[i].reset()
 		}
 		occNs = 0
 	default:

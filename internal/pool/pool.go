@@ -1,0 +1,90 @@
+// Package pool provides the bounded worker pool behind the parallel
+// experiment harness. Every sweep point in internal/exp and internal/lens
+// builds a fresh simulated system from fixed seeds, so iterations are
+// independent and results are written to their own slot — parallel runs
+// produce byte-identical output to sequential ones, just sooner.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workers is the configured default worker count; <= 0 means GOMAXPROCS.
+var workers atomic.Int64
+
+// Workers returns the worker count ForEach will use.
+func Workers() int {
+	if n := workers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers sets the worker count used by ForEach. n <= 0 restores the
+// default (GOMAXPROCS). It returns the previous setting so tests and the
+// CLI can scope the change.
+func SetWorkers(n int) int {
+	prev := int(workers.Load())
+	if n < 0 {
+		n = 0
+	}
+	workers.Store(int64(n))
+	return prev
+}
+
+// ForEach runs fn(i) for every i in [0, n) across at most Workers()
+// goroutines and waits for all to finish. Iterations must not share mutable
+// state; callers keep determinism by writing results only to slot i. With a
+// single worker it degenerates to a plain loop on the calling goroutine.
+func ForEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	var (
+		next  atomic.Int64
+		wg    sync.WaitGroup
+		panMu sync.Mutex
+		pan   any
+	)
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panMu.Lock()
+					if pan == nil {
+						pan = r
+					}
+					panMu.Unlock()
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if pan != nil {
+		// Surface the first worker panic on the calling goroutine so test
+		// harnesses and defers see it (the original stack is lost).
+		panic(pan)
+	}
+}

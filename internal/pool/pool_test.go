@@ -1,0 +1,45 @@
+package pool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, w := range []int{0, 1, 2, 7} {
+		prev := SetWorkers(w)
+		hits := make([]atomic.Int32, 100)
+		ForEach(len(hits), func(i int) { hits[i].Add(1) })
+		SetWorkers(prev)
+		for i := range hits {
+			if n := hits[i].Load(); n != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", w, i, n)
+			}
+		}
+	}
+}
+
+func TestForEachEmptyAndSingle(t *testing.T) {
+	ForEach(0, func(int) { t.Fatal("called for n=0") })
+	ran := false
+	ForEach(1, func(i int) { ran = i == 0 })
+	if !ran {
+		t.Fatal("n=1 not run")
+	}
+}
+
+func TestForEachPropagatesPanic(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	ForEach(16, func(i int) {
+		if i == 5 {
+			panic("boom")
+		}
+	})
+	t.Fatal("ForEach returned despite panic")
+}

@@ -9,8 +9,6 @@
 // scheduling order.
 package sim
 
-import "container/heap"
-
 // Cycle is a simulation timestamp in clock cycles of the simulated memory
 // subsystem. The zero value is the beginning of time.
 type Cycle uint64
@@ -19,41 +17,52 @@ type Cycle uint64
 const Never = Cycle(1<<63 - 1)
 
 // event is a scheduled callback. seq breaks ties so same-cycle events fire in
-// the order they were scheduled, making runs reproducible.
+// the order they were scheduled, making runs reproducible. Exactly one of
+// fn/afn is set; afn is invoked with arg, letting recurring callers schedule
+// without allocating a fresh closure per event (see ScheduleFn).
 type event struct {
 	at  Cycle
 	seq uint64
 	fn  func()
+	afn func(any)
+	arg any
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before orders events by (at, seq): earliest cycle first, scheduling order
+// within a cycle.
+func (a *event) before(b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Engine is a discrete-event scheduler with cycle resolution.
 //
+// Internally it keeps two structures: a 4-ary min-heap of event values for
+// future events (no interface boxing — scheduling does not allocate beyond
+// amortized slice growth) and a FIFO fast path for events scheduled at the
+// current cycle, which skip the heap entirely. The (at, seq) total order is
+// preserved across both: every event carries a globally increasing sequence
+// number, and the dispatcher always fires the least (at, seq) event next.
+//
 // The zero value is ready to use. Engine is not safe for concurrent use; the
 // simulation model here is single-threaded by design (determinism first).
 type Engine struct {
-	now    Cycle
-	seq    uint64
-	events eventHeap
-	fired  uint64
+	now   Cycle
+	seq   uint64
+	fired uint64
+
+	// heap holds events with at > now (at insertion time), ordered as a
+	// 4-ary min-heap by (at, seq).
+	heap []event
+
+	// nowq is the same-cycle FIFO: events scheduled at or before the
+	// current cycle. Invariant: every live nowq entry has at == now, and
+	// the queue drains completely before now can advance (no pending event
+	// can be earlier). Entries are in increasing seq order by construction.
+	nowq    []event
+	nowHead int
 }
 
 // NewEngine returns an engine starting at cycle 0.
@@ -66,42 +75,87 @@ func (e *Engine) Now() Cycle { return e.now }
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending returns the number of scheduled, not yet executed events.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return len(e.heap) + len(e.nowq) - e.nowHead }
 
 // NextAt peeks at the timestamp of the earliest pending event. ok is false
 // when no events are scheduled. Used by drivers that must stop the
 // simulation at an exact cycle (power-fail cuts) without firing anything
 // beyond it.
 func (e *Engine) NextAt() (Cycle, bool) {
-	if len(e.events) == 0 {
+	if e.nowHead < len(e.nowq) {
+		// FIFO entries are at the current cycle; nothing can be earlier.
+		return e.nowq[e.nowHead].at, true
+	}
+	if len(e.heap) == 0 {
 		return 0, false
 	}
-	return e.events[0].at, true
+	return e.heap[0].at, true
 }
 
 // Schedule runs fn at absolute cycle at. Scheduling in the past (at < Now) is
 // treated as "now": the event fires before time advances further.
 func (e *Engine) Schedule(at Cycle, fn func()) {
-	if at < e.now {
-		at = e.now
-	}
 	e.seq++
-	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn})
+	if at <= e.now {
+		e.nowq = append(e.nowq, event{at: e.now, seq: e.seq, fn: fn})
+		return
+	}
+	e.heapPush(event{at: at, seq: e.seq, fn: fn})
 }
 
 // After runs fn delay cycles from now.
 func (e *Engine) After(delay Cycle, fn func()) { e.Schedule(e.now+delay, fn) }
 
+// ScheduleFn runs fn(arg) at absolute cycle at, with the same past-clamping
+// semantics as Schedule. fn is typically a package-level function and arg the
+// component it operates on, so recurring events (drain engines, pollers,
+// retry loops) schedule themselves without allocating a fresh closure per
+// event.
+func (e *Engine) ScheduleFn(at Cycle, fn func(any), arg any) {
+	e.seq++
+	if at <= e.now {
+		e.nowq = append(e.nowq, event{at: e.now, seq: e.seq, afn: fn, arg: arg})
+		return
+	}
+	e.heapPush(event{at: at, seq: e.seq, afn: fn, arg: arg})
+}
+
+// AfterFn runs fn(arg) delay cycles from now (the allocation-free variant of
+// After; see ScheduleFn).
+func (e *Engine) AfterFn(delay Cycle, fn func(any), arg any) {
+	e.ScheduleFn(e.now+delay, fn, arg)
+}
+
 // step executes the earliest pending event, advancing time to it.
 // It reports false when no events remain.
 func (e *Engine) step() bool {
-	if len(e.events) == 0 {
+	var ev event
+	if e.nowHead < len(e.nowq) {
+		// The FIFO head is at the current cycle; the heap top can only tie
+		// it on cycle, in which case seq decides.
+		if len(e.heap) > 0 && e.heap[0].before(&e.nowq[e.nowHead]) {
+			ev = e.heapPop()
+		} else {
+			ev = e.nowq[e.nowHead]
+			e.nowq[e.nowHead] = event{} // release callback references
+			e.nowHead++
+			if e.nowHead == len(e.nowq) {
+				e.nowq = e.nowq[:0]
+				e.nowHead = 0
+			}
+		}
+	} else if len(e.heap) > 0 {
+		ev = e.heapPop()
+	} else {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
 	e.now = ev.at
 	e.fired++
-	ev.fn()
+	if ev.fn != nil {
+		ev.fn()
+	} else {
+		ev.afn(ev.arg)
+	}
 	return true
 }
 
@@ -114,7 +168,11 @@ func (e *Engine) Run() {
 // RunUntil executes events with timestamp <= deadline, then sets Now to
 // deadline if the simulation has not already passed it.
 func (e *Engine) RunUntil(deadline Cycle) {
-	for len(e.events) > 0 && e.events[0].at <= deadline {
+	for {
+		at, ok := e.NextAt()
+		if !ok || at > deadline {
+			break
+		}
 		e.step()
 	}
 	if e.now < deadline {
@@ -127,4 +185,64 @@ func (e *Engine) RunUntil(deadline Cycle) {
 func (e *Engine) RunWhile(cond func() bool) {
 	for cond() && e.step() {
 	}
+}
+
+// ------------------------------------------------------------------- heap
+
+// The heap is 4-ary: children of node i are 4i+1..4i+4. Compared to a binary
+// heap this halves the tree depth, trading slightly more comparisons per
+// level for far fewer event moves — a win because event values are several
+// words wide. Sift operations move the displaced element through a hole
+// instead of swapping, so each level costs one copy.
+
+func (e *Engine) heapPush(ev event) {
+	h := append(e.heap, ev)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !ev.before(&h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ev
+	e.heap = h
+}
+
+func (e *Engine) heapPop() event {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{} // release callback references
+	h = h[:n]
+	e.heap = h
+	if n == 0 {
+		return top
+	}
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if h[j].before(&h[m]) {
+				m = j
+			}
+		}
+		if !h[m].before(&last) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = last
+	return top
 }
