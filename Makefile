@@ -1,16 +1,24 @@
 GO ?= go
 
-# Packages with benchmarks: the figure suite at the root and the event
-# engine microbenchmarks.
-BENCH_PKGS = ./ ./internal/sim/
+# Packages with benchmarks: the figure suite at the root, the event engine
+# microbenchmarks, and the observability hot-path (hooks-disabled overhead).
+BENCH_PKGS = ./ ./internal/sim/ ./internal/obs/
 
-.PHONY: ci build vet test race fmt-check fmt fuzz-smoke fuzz bench bench-smoke
+.PHONY: ci build vet test race fmt-check fmt fuzz-smoke fuzz bench bench-smoke trace-smoke
 
 # ci is the gate: vet, build, the full suite under the race detector
 # (including the nvmserved integration tests and the randomized ADR
 # crash-consistency property test), a short fuzz smoke per target, a
-# single-iteration bench smoke, and a gofmt check.
-ci: vet build race fuzz-smoke bench-smoke fmt-check
+# single-iteration bench smoke, a trace-export smoke, and a gofmt check.
+ci: vet build race fuzz-smoke bench-smoke trace-smoke fmt-check
+
+# trace-smoke exports a tiny Chrome trace through `vans -trace` and validates
+# it with tracecheck — the end-to-end guard on the trace_event exporter.
+trace-smoke:
+	$(GO) run ./cmd/vans -pattern seq -bytes 16K -op store-nt \
+		-trace /tmp/vans-trace-smoke.json >/dev/null 2>&1
+	$(GO) run ./cmd/tracecheck /tmp/vans-trace-smoke.json
+	@rm -f /tmp/vans-trace-smoke.json
 
 # bench refreshes BENCH_quick.json, the checked-in performance snapshot:
 # every benchmark three times with allocation stats, averaged per name.

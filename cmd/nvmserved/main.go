@@ -9,6 +9,11 @@
 //	          [-job-timeout 60s] [-drain-timeout 30s]
 //	          [-max-retries 2] [-retry-base 10ms] [-retry-max 500ms]
 //	          [-breaker-threshold 5] [-breaker-cooldown 5s]
+//	          [-debug-addr localhost:6060]
+//
+// -debug-addr starts a second, opt-in listener serving net/http/pprof
+// (/debug/pprof/...) so the daemon can be profiled live without exposing
+// profiling endpoints on the public API address.
 //
 // See README.md "Running as a service" for the API and curl examples.
 package main
@@ -19,6 +24,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux (debug listener only)
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,8 +46,21 @@ func main() {
 		retryMax     = flag.Duration("retry-max", 500*time.Millisecond, "retry backoff cap")
 		brkThreshold = flag.Int("breaker-threshold", 5, "consecutive engine failures that open the circuit breaker (negative disables)")
 		brkCooldown  = flag.Duration("breaker-cooldown", 5*time.Second, "how long the breaker stays open before probing")
+		debugAddr    = flag.String("debug-addr", "", "optional pprof listener address, e.g. localhost:6060 (empty disables)")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		go func() {
+			// The pprof import registered its handlers on DefaultServeMux;
+			// the main API listener uses its own mux, so profiling stays
+			// reachable only through this address.
+			log.Printf("nvmserved: pprof on http://%s/debug/pprof/", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("nvmserved: debug listener: %v", err)
+			}
+		}()
+	}
 
 	srv := server.New(server.Options{
 		Workers:          *workers,

@@ -1,0 +1,96 @@
+// Command tracecheck validates a Chrome trace_event JSON file (the format
+// written by `vans -trace` and loaded by Perfetto / chrome://tracing). It is
+// the CI smoke for the trace exporter: parse the file, check every event's
+// structural invariants, and print a one-line summary.
+//
+// Usage:
+//
+//	tracecheck out.json
+//
+// Exit status 0 if the file is a well-formed trace, 1 otherwise.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// traceFile is the JSON Object Format of the trace_event spec: a wrapper
+// object holding the event array (the exporter always writes this form, not
+// the bare-array form).
+type traceFile struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+type traceEvent struct {
+	Name string          `json:"name"`
+	Ph   string          `json:"ph"`
+	Ts   *float64        `json:"ts"`
+	Dur  *float64        `json:"dur"`
+	Pid  *int            `json:"pid"`
+	Tid  *int            `json:"tid"`
+	Args json.RawMessage `json:"args"`
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fail("usage: tracecheck FILE.json")
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fail("%v", err)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		fail("%s: not valid JSON: %v", os.Args[1], err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		fail("%s: no traceEvents", os.Args[1])
+	}
+
+	var metas, instants, slices int
+	procs := map[int]bool{}
+	for i, ev := range tf.TraceEvents {
+		if ev.Name == "" {
+			fail("event %d: missing name", i)
+		}
+		if ev.Pid == nil {
+			fail("event %d (%q): missing pid", i, ev.Name)
+		}
+		procs[*ev.Pid] = true
+		switch ev.Ph {
+		case "M":
+			metas++
+		case "i", "X":
+			if ev.Ts == nil || *ev.Ts < 0 {
+				fail("event %d (%q): missing or negative ts", i, ev.Name)
+			}
+			if ev.Tid == nil {
+				fail("event %d (%q): missing tid", i, ev.Name)
+			}
+			if ev.Ph == "X" {
+				if ev.Dur == nil || *ev.Dur < 0 {
+					fail("event %d (%q): X slice without non-negative dur", i, ev.Name)
+				}
+				slices++
+			} else {
+				instants++
+			}
+		default:
+			fail("event %d (%q): unexpected phase %q", i, ev.Name, ev.Ph)
+		}
+	}
+	if instants+slices == 0 {
+		fail("%s: only metadata events, no samples", os.Args[1])
+	}
+
+	fmt.Printf("tracecheck: ok: %d events (%d instants, %d slices, %d metas) across %d components\n",
+		len(tf.TraceEvents), instants, slices, metas, len(procs))
+}

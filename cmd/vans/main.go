@@ -5,10 +5,12 @@
 //
 // Usage:
 //
-//	vans -trace accesses.txt [-dimms 6 -interleaved]
+//	vans -replay accesses.txt [-dimms 6 -interleaved]
 //	vans -pattern chase -region 1M
 //	vans -pattern seq -bytes 1M -op store-nt -json
 //	vans -pattern seq -op store-nt -fault '{"power_fail_cycle":4000}' -json
+//	vans -pattern seq -op store -trace out.json   # Chrome trace for Perfetto
+//	vans -pattern chase -stats                    # full observability table
 package main
 
 import (
@@ -30,7 +32,7 @@ func fatalf(code int, format string, args ...interface{}) {
 
 func main() {
 	var (
-		traceFile   = flag.String("trace", "", "trace file (text format: cycle op hexaddr size)")
+		replayFile  = flag.String("replay", "", "input trace file to replay (text format: cycle op hexaddr size)")
 		pattern     = flag.String("pattern", "", "built-in pattern: chase or seq")
 		region      = flag.String("region", "1M", "chase region size")
 		total       = flag.String("bytes", "1M", "seq total bytes")
@@ -41,6 +43,9 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "workload seed")
 		jsonOut     = flag.Bool("json", false, "print the result as JSON (the nvmserved payload)")
 		faultJSON   = flag.String("fault", "", `fault spec as JSON, e.g. '{"poison_rate":0.01}' or '{"power_fail_cycle":4000}'`)
+		traceOut    = flag.String("trace", "", "write a Chrome trace_event JSON file (open in Perfetto / chrome://tracing)")
+		stats       = flag.Bool("stats", false, "print the full observability table (every counter and stage histogram)")
+		statsJSON   = flag.Bool("stats-json", false, "print the observability dump as JSON")
 	)
 	flag.Parse()
 
@@ -48,6 +53,7 @@ func main() {
 		Config: server.ConfigSpec{DIMMs: *dimms, Interleaved: *interleaved},
 		Window: *window,
 		Seed:   *seed,
+		Trace:  *traceOut != "",
 	}
 	if *faultJSON != "" {
 		var fs fault.Spec
@@ -59,8 +65,8 @@ func main() {
 		spec.Fault = &fs
 	}
 	switch {
-	case *traceFile != "":
-		text, err := os.ReadFile(*traceFile)
+	case *replayFile != "":
+		text, err := os.ReadFile(*replayFile)
 		if err != nil {
 			fatalf(1, "%v", err)
 		}
@@ -72,7 +78,7 @@ func main() {
 	case *pattern != "":
 		fatalf(2, "unknown pattern %q (want chase or seq)", *pattern)
 	default:
-		fmt.Fprintln(os.Stderr, "vans: need -trace FILE or -pattern chase|seq")
+		fmt.Fprintln(os.Stderr, "vans: need -replay FILE or -pattern chase|seq")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -80,6 +86,45 @@ func main() {
 	res, err := server.RunSpec(context.Background(), spec)
 	if err != nil {
 		fatalf(2, "vans: %v", err)
+	}
+
+	if *traceOut != "" {
+		lt := res.Trace()
+		if lt == nil {
+			fatalf(1, "vans: run produced no trace")
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatalf(1, "%v", err)
+		}
+		if err := lt.WriteChromeTrace(f); err != nil {
+			fatalf(1, "vans: writing trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf(1, "%v", err)
+		}
+		if n := lt.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "vans: trace truncated: %d events dropped past the capture limit\n", n)
+		}
+		fmt.Fprintf(os.Stderr, "vans: wrote %d trace events to %s (open in https://ui.perfetto.dev)\n",
+			len(lt.Events()), *traceOut)
+	}
+
+	if (*stats || *statsJSON) && res.Obs == nil {
+		// Power-fail runs report only the crash check; they carry no dump.
+		fatalf(1, "vans: run produced no observability dump")
+	}
+	if *statsJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res.Obs); err != nil {
+			fatalf(1, "%v", err)
+		}
+		return
+	}
+	if *stats {
+		fmt.Print(res.Obs.Table())
+		return
 	}
 
 	if *jsonOut {

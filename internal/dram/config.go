@@ -11,6 +11,7 @@ package dram
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -181,6 +182,13 @@ type Config struct {
 	ClosedPage bool
 	// RefreshEnabled enables periodic REF commands.
 	RefreshEnabled bool
+
+	// Obs, when set, registers this controller's counters with the
+	// observability registry and enables hook emission. Runtime-only.
+	Obs *obs.Obs `json:"-"`
+	// ObsName is the component name used in the registry ("dram" when
+	// empty); composed models pass e.g. "dimm0/dram".
+	ObsName string `json:"-"`
 }
 
 // DefaultConfig returns a DDR4-2666 single-channel configuration.

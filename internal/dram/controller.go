@@ -2,6 +2,7 @@ package dram
 
 import (
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -71,6 +72,9 @@ type Controller struct {
 	busy     bool
 
 	stats Stats
+
+	o    *obs.Obs
+	comp string
 }
 
 // NewController returns a controller on eng with cfg (zero fields defaulted).
@@ -96,6 +100,20 @@ func NewController(eng *sim.Engine, cfg Config) *Controller {
 	}
 	for i := range c.ranks {
 		c.ranks[i].nextRefresh = cfg.Timing.TREFI
+	}
+	if cfg.Obs != nil {
+		c.o = cfg.Obs
+		c.comp = cfg.ObsName
+		if c.comp == "" {
+			c.comp = "dram"
+		}
+		c.o.RegisterPtr(c.comp, "reads", &c.stats.Reads)
+		c.o.RegisterPtr(c.comp, "writes", &c.stats.Writes)
+		c.o.RegisterPtr(c.comp, "row_hits", &c.stats.RowHits)
+		c.o.RegisterPtr(c.comp, "row_misses", &c.stats.RowMisses)
+		c.o.RegisterPtr(c.comp, "row_conflicts", &c.stats.RowConf)
+		c.o.RegisterPtr(c.comp, "refreshes", &c.stats.Refreshes)
+		c.o.RegisterFunc(c.comp, "data_cycles", func() uint64 { return uint64(c.stats.DataCycles) })
 	}
 	return c
 }
@@ -369,6 +387,11 @@ func (c *Controller) serviceNext() {
 		c.emit(Cmd{At: preAt, Kind: CmdPRE, Coord: p.coord})
 		b.open = false
 		b.nextACT = maxCycle(b.nextACT, preAt+t.TRP)
+	}
+
+	if c.o.Active() {
+		c.o.Emit(obs.Event{Now: rwAt, Stage: obs.StageDRAM, Pos: obs.PosIssue,
+			Write: p.write, Comp: c.comp, Addr: p.req.Addr, Arg: uint64(dataEnd - rwAt)})
 	}
 
 	req := p.req

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/lens"
+	"repro/internal/obs"
 	"repro/internal/optane"
 	"repro/internal/pool"
 )
@@ -71,6 +72,11 @@ type Scale struct {
 	Instructions int
 	// Footprint for cloud workloads.
 	CloudFootprint uint64
+	// Obs, when non-nil, is the observability context every system the
+	// experiment builds registers into (each vans/optane instance creates its
+	// own child, so one context serves parallel experiments). Results stay
+	// byte-identical: registration and counting never alter simulated timing.
+	Obs *obs.Obs
 }
 
 // QuickScale shrinks structures 64x: the RMW knee lands at 256B..4KB and the
@@ -171,17 +177,25 @@ type Outcome struct {
 	Res     *Result
 	Err     error
 	Elapsed time.Duration
+	// Digest summarizes the run's observability counters (events fired,
+	// media traffic, migrations, peak queue depth).
+	Digest obs.Digest
 }
 
 // RunMany executes the given experiments across the pool's worker budget and
 // returns outcomes in input order. Every experiment builds its own systems
 // from fixed seeds, so concurrent runs are byte-identical to sequential ones.
+// Each experiment gets a private observability context, summarized into its
+// outcome's Digest.
 func RunMany(ids []string, sc Scale) []Outcome {
 	out := make([]Outcome, len(ids))
 	pool.ForEach(len(ids), func(i int) {
+		scRun := sc
+		scRun.Obs = obs.New()
 		start := time.Now()
-		r, err := Run(ids[i], sc)
-		out[i] = Outcome{ID: ids[i], Res: r, Err: err, Elapsed: time.Since(start)}
+		r, err := Run(ids[i], scRun)
+		out[i] = Outcome{ID: ids[i], Res: r, Err: err,
+			Elapsed: time.Since(start), Digest: scRun.Obs.Digest()}
 	})
 	return out
 }

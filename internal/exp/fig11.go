@@ -140,7 +140,7 @@ func fig11c(sc Scale) *Result {
 	// CPU config, as the paper attaches both to the same gem5).
 	p := refParams(sc)
 	optRef := speedups(sc, serverCPU(), func() mem.System {
-		return optane.New(optane.Config{Params: p, DIMMs: 1, Seed: 7})
+		return optane.New(optane.Config{Params: p, DIMMs: 1, Seed: 7, Obs: sc.Obs})
 	})
 	vansS := speedups(sc, simCPU(), func() mem.System {
 		return vans.New(vansConfig(sc, 1, false))
@@ -165,7 +165,7 @@ func fig11d(sc Scale) *Result {
 	r := &Result{ID: "fig11d", Title: "Speedup accuracy (geomean)"}
 	p := refParams(sc)
 	optRef := speedups(sc, serverCPU(), func() mem.System {
-		return optane.New(optane.Config{Params: p, DIMMs: 1, Seed: 7})
+		return optane.New(optane.Config{Params: p, DIMMs: 1, Seed: 7, Obs: sc.Obs})
 	})
 	vansS := speedups(sc, simCPU(), func() mem.System {
 		return vans.New(vansConfig(sc, 1, false))

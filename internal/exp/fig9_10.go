@@ -77,7 +77,7 @@ func fig9d(sc Scale) *Result {
 	r := &Result{ID: "fig9d", Title: "Overwrite tail validation"}
 	sysV := vans.New(vansWearConfig(sc, 1, false))
 	vl := lens.Overwrite(sysV, 0, 256, sc.OverwriteIters)
-	sysO := optane.New(optane.Config{Params: refWearParams(sc), DIMMs: 1, Seed: 7})
+	sysO := optane.New(optane.Config{Params: refWearParams(sc), DIMMs: 1, Seed: 7, Obs: sc.Obs})
 	ol := lens.Overwrite(sysO, 0, 256, sc.OverwriteIters)
 	sv := &analysis.Series{Name: "VANS-overwrite", XLabel: "iteration", YLabel: "ns"}
 	so := &analysis.Series{Name: "Optane-overwrite", XLabel: "iteration", YLabel: "ns"}

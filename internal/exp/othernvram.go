@@ -66,6 +66,7 @@ func otherNVRAM(sc Scale) *Result {
 	for _, dev := range devices {
 		vcfg := vans.DefaultConfig()
 		vcfg.NV = dev.cfg
+		vcfg.Obs = sc.Obs
 		mk := func() mem.System { return vans.New(vcfg) }
 		rep := lens.BufferProber(mk, lens.BufferProberConfig{
 			Regions:      sc.Regions,

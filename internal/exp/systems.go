@@ -19,6 +19,7 @@ func vansConfig(sc Scale, dimms int, interleaved bool) vans.Config {
 		cfg.NV.AITWays = min(cfg.NV.AITWays, cfg.NV.AITEntries)
 		cfg.NV.Media.Capacity = 64 << 20
 	}
+	cfg.Obs = sc.Obs
 	return cfg
 }
 
@@ -41,7 +42,7 @@ func mkVANS(sc Scale, dimms int, interleaved bool) lens.MakeSystem {
 func mkOptane(sc Scale, dimms int, interleaved bool) lens.MakeSystem {
 	p := refParams(sc)
 	return func() mem.System {
-		return optane.New(optane.Config{Params: p, DIMMs: dimms, Interleaved: interleaved, Seed: 7})
+		return optane.New(optane.Config{Params: p, DIMMs: dimms, Interleaved: interleaved, Seed: 7, Obs: sc.Obs})
 	}
 }
 

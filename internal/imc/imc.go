@@ -5,8 +5,11 @@
 package imc
 
 import (
+	"fmt"
+
 	"repro/internal/dram"
 	"repro/internal/nvdimm"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -23,6 +26,10 @@ type Config struct {
 	InterleaveBytes uint64
 	// Interleaved enables multi-DIMM interleaving.
 	Interleaved bool
+
+	// Obs, when set, registers per-channel counters with the observability
+	// registry and enables WPQ/RPQ hook emission. Runtime-only.
+	Obs *obs.Obs `json:"-"`
 
 	// BusTransferNs is the DDR-T bus occupancy per 64B transfer.
 	BusTransferNs float64
@@ -118,8 +125,8 @@ type IMC struct {
 func New(eng *sim.Engine, cfg Config, dimms []*nvdimm.DIMM) *IMC {
 	cfg = cfg.withDefaults()
 	m := &IMC{eng: eng, cfg: cfg}
-	for _, d := range dimms {
-		m.channels = append(m.channels, newChannel(eng, cfg, d))
+	for i, d := range dimms {
+		m.channels = append(m.channels, newChannel(eng, cfg, d, i))
 	}
 	return m
 }
@@ -262,9 +269,12 @@ type Channel struct {
 	reads    uint64
 	writes   uint64
 	forwards uint64
+
+	o    *obs.Obs
+	comp string
 }
 
-func newChannel(eng *sim.Engine, cfg Config, d *nvdimm.DIMM) *Channel {
+func newChannel(eng *sim.Engine, cfg Config, d *nvdimm.DIMM, idx int) *Channel {
 	ch := &Channel{
 		eng:         eng,
 		cfg:         cfg,
@@ -276,6 +286,14 @@ func newChannel(eng *sim.Engine, cfg Config, d *nvdimm.DIMM) *Channel {
 		drainCyc:    dram.NsToCycles(cfg.WriteDrainNs),
 	}
 	ch.bus = bus{transfer: ch.transferCyc, turn: dram.NsToCycles(cfg.BusTurnNs)}
+	if cfg.Obs != nil {
+		ch.o = cfg.Obs
+		ch.comp = fmt.Sprintf("imc%d", idx)
+		ch.o.RegisterPtr(ch.comp, "reads", &ch.reads)
+		ch.o.RegisterPtr(ch.comp, "writes", &ch.writes)
+		ch.o.RegisterPtr(ch.comp, "wpq_forwards", &ch.forwards)
+		ch.o.RegisterFunc(ch.comp, "wpq_merges", ch.wpq.Merges)
+	}
 	return ch
 }
 
@@ -291,14 +309,23 @@ func (ch *Channel) read(addr uint64, done func(error)) bool {
 		return false
 	}
 	ch.reads++
+	if ch.o.Active() {
+		ch.o.Emit(obs.Event{Now: ch.eng.Now(), Stage: obs.StageRPQ, Pos: obs.PosEnqueue,
+			Comp: ch.comp, Addr: addr})
+	}
 	// WPQ forwarding: a pending store to the line satisfies the read at the
 	// iMC without a DIMM round trip.
 	line := addr - addr%64
 	if ch.wpq.Contains(line) {
 		ch.forwards++
+		if ch.o.Active() {
+			ch.o.Emit(obs.Event{Now: ch.eng.Now(), Stage: obs.StageWPQ, Pos: obs.PosHit,
+				Comp: ch.comp, Addr: addr})
+		}
 		ch.rpqInFlight++
 		ch.eng.After(ch.readOverCyc/2, func() {
 			ch.rpqInFlight--
+			ch.noteRPQDone(addr)
 			done(nil)
 		})
 		return true
@@ -312,11 +339,20 @@ func (ch *Channel) read(addr uint64, done func(error)) bool {
 			ret := ch.bus.acquire(ch.eng.Now(), false)
 			ch.eng.Schedule(ret+ch.transferCyc+ch.readOverCyc/2, func() {
 				ch.rpqInFlight--
+				ch.noteRPQDone(addr)
 				done(err)
 			})
 		})
 	})
 	return true
+}
+
+// noteRPQDone emits the read-completion hook event.
+func (ch *Channel) noteRPQDone(addr uint64) {
+	if ch.o.Active() {
+		ch.o.Emit(obs.Event{Now: ch.eng.Now(), Stage: obs.StageRPQ, Pos: obs.PosComplete,
+			Comp: ch.comp, Addr: addr})
+	}
 }
 
 func (ch *Channel) write(addr uint64, data []byte, done func()) bool {
@@ -327,6 +363,10 @@ func (ch *Channel) write(addr uint64, data []byte, done func()) bool {
 		return false
 	}
 	ch.writes++
+	if ch.o.Active() {
+		ch.o.Emit(obs.Event{Now: ch.eng.Now(), Stage: obs.StageWPQ, Pos: obs.PosEnqueue,
+			Write: true, Comp: ch.comp, Addr: addr})
+	}
 	ch.pendingData(addr, data)
 	ch.kickDrain()
 	ch.eng.After(ch.writeAccCyc, done)
@@ -372,6 +412,10 @@ func (ch *Channel) drainStep() {
 		// The WPQ combines at 64B granularity: one line per group.
 		ch.drainLine = g.Block
 		ch.haveDrain = true
+		if ch.o.Active() {
+			ch.o.Emit(obs.Event{Now: ch.eng.Now(), Stage: obs.StageWPQ, Pos: obs.PosDequeue,
+				Write: true, Comp: ch.comp, Addr: g.Block})
+		}
 	}
 	start := ch.bus.acquire(ch.eng.Now(), true)
 	ch.eng.ScheduleFn(start+ch.transferCyc, chanDrainPush, ch)

@@ -7,6 +7,7 @@ package media
 
 import (
 	"repro/internal/dram"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -42,6 +43,13 @@ type Config struct {
 	Capacity uint64
 	// Functional enables the sparse data store (timing unchanged).
 	Functional bool
+
+	// Obs, when non-nil, receives lifecycle hooks and registry-backed
+	// counters/histograms under component ObsName. Runtime-only: never
+	// serialized, never part of a config hash.
+	Obs *obs.Obs `json:"-"`
+	// ObsName is the component instance name ("dimm0/media").
+	ObsName string `json:"-"`
 }
 
 // DefaultConfig returns Optane-like media parameters for a 4GB device (the
@@ -94,6 +102,14 @@ type XPoint struct {
 	data *pagedData
 
 	stats Stats
+
+	// o receives lifecycle hooks (nil-safe); histRead/histWrite record
+	// per-access service latency in ns when an Obs is attached (nil
+	// otherwise, so the unobserved hot path never touches them).
+	o         *obs.Obs
+	comp      string
+	histRead  *obs.Histogram
+	histWrite *obs.Histogram
 }
 
 // New returns a media model on eng.
@@ -137,6 +153,19 @@ func New(eng *sim.Engine, cfg Config) *XPoint {
 	}
 	if cfg.Functional {
 		x.data = newPagedData(cfg.BlockSize, cfg.Capacity)
+	}
+	if cfg.Obs != nil {
+		x.o = cfg.Obs
+		x.comp = cfg.ObsName
+		if x.comp == "" {
+			x.comp = "media"
+		}
+		cfg.Obs.RegisterPtr(x.comp, "reads", &x.stats.Reads)
+		cfg.Obs.RegisterPtr(x.comp, "writes", &x.stats.Writes)
+		cfg.Obs.RegisterPtr(x.comp, "bytes_read", &x.stats.BytesRead)
+		cfg.Obs.RegisterPtr(x.comp, "bytes_written", &x.stats.BytesWrite)
+		x.histRead = cfg.Obs.Histogram(x.comp, "read_ns", nil)
+		x.histWrite = cfg.Obs.Histogram(x.comp, "write_ns", nil)
 	}
 	return x
 }
@@ -212,6 +241,24 @@ func (x *XPoint) access(addr uint64, write, background bool, done func()) sim.Cy
 		x.partFree[p] = end
 	}
 	ports[pi] = end
+	// Observability: latency histograms whenever an Obs is attached;
+	// issue/complete lifecycle events (and their closure) only while a
+	// tracer is active, so the unobserved path stays allocation-free.
+	if write {
+		if x.histWrite != nil {
+			x.histWrite.Observe(uint64(float64(end-start) / dram.CyclesPerNano))
+		}
+	} else if x.histRead != nil {
+		x.histRead.Observe(uint64(float64(end-start) / dram.CyclesPerNano))
+	}
+	if x.o.Active() {
+		x.o.Emit(obs.Event{Now: start, Stage: obs.StageMedia, Pos: obs.PosIssue,
+			Write: write, Comp: x.comp, Addr: addr, Arg: uint64(end - start)})
+		x.eng.Schedule(end, func() {
+			x.o.Emit(obs.Event{Now: end, Stage: obs.StageMedia, Pos: obs.PosComplete,
+				Write: write, Comp: x.comp, Addr: addr})
+		})
+	}
 	if done != nil {
 		x.eng.Schedule(end, done)
 	}

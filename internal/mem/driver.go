@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -18,17 +19,57 @@ type Driver struct {
 	// keeps the first such error for reporting.
 	faults   int
 	firstErr error
+
+	o          *obs.Obs
+	reads      uint64
+	writes     uint64
+	faultCount uint64
+	histRead   *obs.Histogram
+	histWrite  *obs.Histogram
 }
 
 // NewDriver returns a driver bound to sys.
 func NewDriver(sys System) *Driver { return &Driver{sys: sys} }
 
-// noteDone folds one completed request into the fault accounting.
+// SetObs registers the driver's request counters and end-to-end latency
+// histograms ("driver" component) and enables request-lifecycle hook
+// emission. Call before issuing accesses.
+func (d *Driver) SetObs(o *obs.Obs) {
+	if o == nil {
+		return
+	}
+	d.o = o
+	o.RegisterPtr("driver", "reads", &d.reads)
+	o.RegisterPtr("driver", "writes", &d.writes)
+	o.RegisterPtr("driver", "faults", &d.faultCount)
+	d.histRead = o.Histogram("driver", "read_ns", nil)
+	d.histWrite = o.Histogram("driver", "write_ns", nil)
+}
+
+// noteDone folds one completed request into the fault and latency
+// accounting.
 func (d *Driver) noteDone(r *Request) {
 	if r.Err != nil {
 		d.faults++
+		d.faultCount++
 		if d.firstErr == nil {
 			d.firstErr = r.Err
+		}
+	}
+	if d.o != nil {
+		ns := uint64(float64(r.Latency()) / d.sys.CyclesPerNano())
+		switch {
+		case r.Op == OpRead:
+			d.reads++
+			d.histRead.Observe(ns)
+		case r.Op.IsWrite() || r.Op == OpClwb:
+			d.writes++
+			d.histWrite.Observe(ns)
+		}
+		if d.o.Active() {
+			d.o.Emit(obs.Event{Now: d.sys.Engine().Now(), Stage: obs.StageRequest,
+				Pos: obs.PosComplete, Write: r.Op != OpRead, Comp: "driver",
+				Addr: r.Addr, Arg: uint64(r.Latency())})
 		}
 	}
 }
@@ -57,6 +98,12 @@ type Access struct {
 // indicate a deadlocked model (a bug we want loudly).
 func (d *Driver) submitBlocking(r *Request) {
 	eng := d.sys.Engine()
+	if d.o.Active() {
+		// Arg deliberately stays 0: PosIssue events carrying a nonzero Arg
+		// render as duration slices in the Chrome exporter.
+		d.o.Emit(obs.Event{Now: eng.Now(), Stage: obs.StageRequest, Pos: obs.PosIssue,
+			Write: r.Op != OpRead && r.Op != OpFence, Comp: "driver", Addr: r.Addr})
+	}
 	for !d.sys.Submit(r) {
 		if eng.Pending() == 0 {
 			panic("mem: system refused request with no pending events (model deadlock)")

@@ -11,6 +11,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/fault"
 	"repro/internal/media"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -83,6 +84,14 @@ type Config struct {
 	// media read errors, AIT stall spikes) into this DIMM. Runtime-only:
 	// never serialized, never part of a config hash.
 	Injector *fault.Injector `json:"-"`
+
+	// Obs, when set, registers this DIMM's counters with the observability
+	// registry and enables hook emission through LSQ/RMW/AIT/media/wear.
+	// Runtime-only: never serialized, never part of a config hash.
+	Obs *obs.Obs `json:"-"`
+	// ObsName is the component name used in the registry ("dimm" when
+	// empty); multi-DIMM systems pass e.g. "dimm0".
+	ObsName string `json:"-"`
 }
 
 // DefaultConfig returns the Optane DIMM parameter set from the paper's

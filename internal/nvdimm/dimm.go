@@ -5,6 +5,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/media"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -65,6 +66,9 @@ type DIMM struct {
 	pretrans *PreTransTable
 
 	stats Stats
+
+	o    *obs.Obs
+	comp string
 }
 
 // dramRegion layout inside the on-DIMM DRAM: translation table first, then
@@ -80,6 +84,16 @@ const (
 func New(eng *sim.Engine, cfg Config, seed uint64) *DIMM {
 	cfg = cfg.withDefaults()
 	cfg.Media.Functional = cfg.Media.Functional || cfg.Functional
+	comp := cfg.ObsName
+	if comp == "" {
+		comp = "dimm"
+	}
+	if cfg.Obs != nil {
+		cfg.Media.Obs = cfg.Obs
+		cfg.Media.ObsName = comp + "/media"
+		cfg.DRAM.Obs = cfg.Obs
+		cfg.DRAM.ObsName = comp + "/dram"
+	}
 	med := media.New(eng, cfg.Media)
 	trans := NewTranslator(cfg.AITLine, med.Config().Capacity)
 	cyc := cfg.cycles()
@@ -96,6 +110,29 @@ func New(eng *sim.Engine, cfg Config, seed uint64) *DIMM {
 		inj:   cfg.Injector,
 	}
 	d.wear = NewWearLeveler(eng, med, trans, cfg.WearThreshold, cyc.migration, seed)
+	if cfg.Obs != nil {
+		d.o = cfg.Obs
+		d.comp = comp
+		d.wear.o = cfg.Obs
+		d.wear.comp = comp + "/wear"
+		o := cfg.Obs
+		o.RegisterPtr(comp, "client_reads", &d.stats.ClientReads)
+		o.RegisterPtr(comp, "client_writes", &d.stats.ClientWrites)
+		o.RegisterPtr(comp, "lsq_forwards", &d.stats.LSQForwards)
+		o.RegisterPtr(comp, "lsq_stalls", &d.stats.LSQStalls)
+		o.RegisterPtr(comp, "rmw_partials", &d.stats.PartialRMW)
+		o.RegisterPtr(comp, "ait_table_reads", &d.stats.TableReads)
+		o.RegisterPtr(comp, "media_stalls", &d.stats.MediaStalls)
+		o.RegisterPtr(comp, "media_poison", &d.stats.MediaPoison)
+		o.RegisterPtr(comp, "fault_stalls", &d.stats.FaultStalls)
+		o.RegisterFunc(comp, "lsq_merges", d.lsq.Merges)
+		o.RegisterFunc(comp, "rmw_hits", d.rmw.Hits)
+		o.RegisterFunc(comp, "rmw_misses", d.rmw.Misses)
+		o.RegisterFunc(comp, "ait_hits", d.buf.Hits)
+		o.RegisterFunc(comp, "ait_line_misses", d.buf.Misses)
+		o.RegisterFunc(comp, "ait_sector_misses", d.buf.SectorMisses)
+		o.RegisterFunc(d.wear.comp, "migrations", d.wear.Migrations)
+	}
 	return d
 }
 
@@ -191,6 +228,10 @@ func (d *DIMM) mediaAccessPri(cpuBlock uint64, write, background bool, done func
 	if !write {
 		if perr = d.inj.ReadPoison(mediaAddr); perr != nil {
 			d.stats.MediaPoison++
+			if d.o.Active() {
+				d.o.Emit(obs.Event{Now: d.eng.Now(), Stage: obs.StageMedia, Pos: obs.PosFault,
+					Comp: d.comp, Addr: mediaAddr})
+			}
 		}
 	}
 	d.mediaInFlight++
@@ -249,14 +290,26 @@ func (d *DIMM) Read(addr uint64, done func(error)) {
 	// fast-forward, the effect the RaW prober measures).
 	if d.lsq.Contains(line) {
 		d.stats.LSQForwards++
+		if d.o.Active() {
+			d.o.Emit(obs.Event{Now: d.eng.Now(), Stage: obs.StageLSQ, Pos: obs.PosHit,
+				Comp: d.comp, Addr: addr})
+		}
 		d.eng.After(d.cyc.lsqLookup+d.cyc.rmwHit, func() { finish(nil) })
 		return
 	}
 
 	start := d.rmwSlot() + d.cyc.lsqLookup
 	if d.rmw.Lookup(block) {
+		if d.o.Active() {
+			d.o.Emit(obs.Event{Now: d.eng.Now(), Stage: obs.StageRMW, Pos: obs.PosHit,
+				Comp: d.comp, Addr: addr})
+		}
 		d.eng.Schedule(start+d.cyc.rmwHit, func() { finish(nil) })
 		return
+	}
+	if d.o.Active() {
+		d.o.Emit(obs.Event{Now: d.eng.Now(), Stage: obs.StageRMW, Pos: obs.PosMiss,
+			Comp: d.comp, Addr: addr})
 	}
 
 	// Lazy cache probe (optimization, §V-C): frequently written data can be
@@ -302,9 +355,17 @@ func (d *DIMM) aitRead(block uint64, done func(error)) {
 	page := d.page(block)
 	sector := d.sector(block)
 	d.stats.TableReads++
+	if d.o.Active() {
+		d.o.Emit(obs.Event{Now: d.eng.Now(), Stage: obs.StageAIT, Pos: obs.PosIssue,
+			Comp: d.comp, Addr: block})
+	}
 	lookup := d.cyc.aitLookup
 	if stall := d.inj.AITStall(); stall > 0 {
 		d.stats.FaultStalls++
+		if d.o.Active() {
+			d.o.Emit(obs.Event{Now: d.eng.Now(), Stage: obs.StageAIT, Pos: obs.PosFault,
+				Comp: d.comp, Addr: block, Arg: uint64(stall)})
+		}
 		lookup += stall
 	}
 	d.eng.After(lookup, func() {
@@ -317,6 +378,14 @@ func (d *DIMM) aitRead(block uint64, done func(error)) {
 // aitReadLookup continues aitRead after the translation-table access.
 func (d *DIMM) aitReadLookup(page uint64, sector int, block uint64, done func(error)) {
 	lineHit, sectorHit := d.buf.LookupSector(page, sector)
+	if d.o.Active() {
+		pos := obs.PosMiss
+		if sectorHit {
+			pos = obs.PosHit
+		}
+		d.o.Emit(obs.Event{Now: d.eng.Now(), Stage: obs.StageAIT, Pos: pos,
+			Comp: d.comp, Addr: block})
+	}
 	if sectorHit {
 		burst := int(d.cfg.RMWBlock / 64)
 		d.dramBurst(d.dataAddr(page, sector), burst, false, func() { done(nil) })
@@ -396,6 +465,10 @@ func (d *DIMM) aitWrite(block uint64, done func()) {
 	page := d.page(block)
 	sector := d.sector(block)
 	d.stats.TableReads++
+	if d.o.Active() {
+		d.o.Emit(obs.Event{Now: d.eng.Now(), Stage: obs.StageAIT, Pos: obs.PosIssue,
+			Write: true, Comp: d.comp, Addr: block})
+	}
 	d.eng.After(d.cyc.aitLookup, func() {
 		d.aitWriteLookup(page, sector, block, done)
 	})
@@ -433,6 +506,10 @@ func (d *DIMM) AcceptWrite(addr uint64, data []byte) bool {
 		return false
 	}
 	d.stats.ClientWrites++
+	if d.o.Active() {
+		d.o.Emit(obs.Event{Now: d.eng.Now(), Stage: obs.StageLSQ, Pos: obs.PosEnqueue,
+			Write: true, Comp: d.comp, Addr: addr})
+	}
 	if data != nil && d.cfg.Functional {
 		d.med.WriteData(d.trans.ToMedia(addr), data)
 	}
@@ -488,6 +565,10 @@ func (d *DIMM) drainStep() {
 		d.draining = false
 		return
 	}
+	if d.o.Active() {
+		d.o.Emit(obs.Event{Now: now, Stage: obs.StageLSQ, Pos: obs.PosDequeue,
+			Write: true, Comp: d.comp, Addr: g.Block})
+	}
 	d.writesInFlight++
 	d.processGroup(g, func() { d.writesInFlight-- })
 	// Pace the next drain decision by the RMW port.
@@ -515,11 +596,19 @@ func (d *DIMM) processGroup(g Group, done func()) {
 			// fill does not block the write: the store overwrites the
 			// unreadable sector (how poison is actually cleared on Optane).
 			d.stats.PartialRMW++
+			if d.o.Active() {
+				d.o.Emit(obs.Event{Now: d.eng.Now(), Stage: obs.StageRMW, Pos: obs.PosMiss,
+					Write: true, Comp: d.comp, Addr: g.Block})
+			}
 			d.aitRead(g.Block, func(error) {
 				d.installRMW(g.Block, !d.cfg.WriteThrough)
 				d.forwardWrite(g.Block, done)
 			})
 			return
+		}
+		if d.o.Active() {
+			d.o.Emit(obs.Event{Now: d.eng.Now(), Stage: obs.StageRMW, Pos: obs.PosHit,
+				Write: true, Comp: d.comp, Addr: g.Block})
 		}
 		d.installRMW(g.Block, !d.cfg.WriteThrough)
 		d.forwardWrite(g.Block, done)

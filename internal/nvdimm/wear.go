@@ -2,6 +2,7 @@ package nvdimm
 
 import (
 	"repro/internal/media"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -37,6 +38,9 @@ type WearLeveler struct {
 
 	events     []MigrationEvent
 	migrations uint64
+
+	o    *obs.Obs
+	comp string
 }
 
 // NewWearLeveler wires a leveler to the media and translator.
@@ -131,6 +135,10 @@ func (w *WearLeveler) migrate(mediaAddr uint64) sim.Cycle {
 	w.migrations++
 	w.events = append(w.events, MigrationEvent{
 		At: w.eng.Now(), Block: worn, Partner: partner, TriggerCPU: triggerCPU})
+	if w.o.Active() {
+		w.o.Emit(obs.Event{Now: w.eng.Now(), Stage: obs.StageWear, Pos: obs.PosMigrate,
+			Write: true, Comp: w.comp, Addr: worn, Arg: uint64(w.stall)})
+	}
 	return until
 }
 

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// DefaultTraceLimit bounds lifecycle recording so a runaway traced job
+// cannot exhaust service memory; events past the limit are counted, not
+// stored.
+const DefaultTraceLimit = 1 << 20
+
+// Lifecycle records every hook firing in emission order: the per-access
+// stage timeline (WPQ entry, LSQ drain, RMW hit/miss, AIT translate/stall,
+// media issue/return, wear migration) that the exporters serialize.
+type Lifecycle struct {
+	// CyclesPerNano converts event cycles to wall nanoseconds in exports.
+	// Zero is treated as 1 (cycles render as ns).
+	CyclesPerNano float64
+	// Limit caps stored events (DefaultTraceLimit when 0).
+	Limit int
+
+	events  []Event
+	dropped uint64
+}
+
+// NewLifecycle returns a lifecycle tracer for a system clocked at cpn
+// cycles per nanosecond.
+func NewLifecycle(cpn float64) *Lifecycle {
+	return &Lifecycle{CyclesPerNano: cpn}
+}
+
+// OnEvent implements Tracer.
+func (l *Lifecycle) OnEvent(ev Event) {
+	limit := l.Limit
+	if limit == 0 {
+		limit = DefaultTraceLimit
+	}
+	if len(l.events) >= limit {
+		l.dropped++
+		return
+	}
+	l.events = append(l.events, ev)
+}
+
+// Events returns the recorded events in emission order (owned by the
+// tracer).
+func (l *Lifecycle) Events() []Event { return l.events }
+
+// Dropped returns how many events were discarded past the limit.
+func (l *Lifecycle) Dropped() uint64 { return l.dropped }
+
+// cpn returns the effective cycles-per-nanosecond conversion.
+func (l *Lifecycle) cpn() float64 {
+	if l.CyclesPerNano > 0 {
+		return l.CyclesPerNano
+	}
+	return 1
+}
+
+// eventNDJSON is the NDJSON line shape: flat, self-describing, one event
+// per line (the /v1/jobs/{id}/trace stream format).
+type eventNDJSON struct {
+	Cycle uint64  `json:"cycle"`
+	Ns    float64 `json:"ns"`
+	Stage string  `json:"stage"`
+	Pos   string  `json:"pos"`
+	Write bool    `json:"write,omitempty"`
+	Comp  string  `json:"comp"`
+	Addr  uint64  `json:"addr"`
+	Arg   uint64  `json:"arg,omitempty"`
+}
+
+// WriteNDJSON streams the trace as newline-delimited JSON.
+func (l *Lifecycle) WriteNDJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	cpn := l.cpn()
+	for _, ev := range l.events {
+		line := eventNDJSON{
+			Cycle: uint64(ev.Now),
+			Ns:    float64(ev.Now) / cpn,
+			Stage: ev.Stage.String(),
+			Pos:   ev.Pos.String(),
+			Write: ev.Write,
+			Comp:  ev.Comp,
+			Addr:  ev.Addr,
+			Arg:   ev.Arg,
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Chrome trace_event shapes. The exported file is the JSON Object Format
+// ({"traceEvents": [...]}), loadable directly in chrome://tracing and
+// Perfetto. Processes map to component instances, threads to stages, so the
+// timeline reads as one swim-lane per structure per component.
+type chromeEvent struct {
+	Name string          `json:"name"`
+	Ph   string          `json:"ph"`
+	Ts   float64         `json:"ts"` // microseconds
+	Dur  float64         `json:"dur,omitempty"`
+	Pid  int             `json:"pid"`
+	Tid  int             `json:"tid"`
+	S    string          `json:"s,omitempty"` // instant scope
+	Args json.RawMessage `json:"args,omitempty"`
+}
+
+type chromeMeta struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid,omitempty"`
+	Args map[string]any `json:"args"`
+}
+
+type chromeArgs struct {
+	Addr  uint64 `json:"addr"`
+	Write bool   `json:"write"`
+	Arg   uint64 `json:"arg,omitempty"`
+}
+
+// WriteChromeTrace serializes the trace in Chrome trace_event JSON.
+// Durations (media accesses, wear migrations — PosIssue/PosMigrate events
+// carrying a cycle span in Arg) render as complete ("X") slices; everything
+// else renders as a thread-scoped instant ("i"). Timestamps are microseconds
+// from cycle 0. The output is deterministic for a deterministic run: pids
+// follow first-appearance order and encoding/json formats floats stably.
+func (l *Lifecycle) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ns","traceEvents":[`); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(bw)
+	enc.SetEscapeHTML(false)
+	cpn := l.cpn()
+	toUs := func(c uint64) float64 { return float64(c) / cpn / 1000 }
+
+	pids := map[string]int{}
+	var comps []string // first-appearance order, for deterministic output
+	first := true
+	write := func(v any) error {
+		if !first {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		first = false
+		// Encoder appends '\n'; harmless inside a JSON array.
+		return enc.Encode(v)
+	}
+
+	for _, ev := range l.events {
+		pid, ok := pids[ev.Comp]
+		if !ok {
+			pid = len(pids) + 1
+			pids[ev.Comp] = pid
+			comps = append(comps, ev.Comp)
+			if err := write(chromeMeta{
+				Name: "process_name", Ph: "M", Pid: pid,
+				Args: map[string]any{"name": ev.Comp},
+			}); err != nil {
+				return err
+			}
+		}
+		tid := int(ev.Stage) + 1
+		args, err := json.Marshal(chromeArgs{Addr: ev.Addr, Write: ev.Write, Arg: ev.Arg})
+		if err != nil {
+			return err
+		}
+		ce := chromeEvent{
+			Name: ev.Stage.String() + " " + ev.Pos.String(),
+			Ts:   toUs(uint64(ev.Now)),
+			Pid:  pid,
+			Tid:  tid,
+			Args: args,
+		}
+		if ev.Arg > 0 && (ev.Pos == PosIssue || ev.Pos == PosMigrate) {
+			ce.Ph = "X"
+			ce.Dur = toUs(ev.Arg)
+		} else {
+			ce.Ph = "i"
+			ce.S = "t"
+		}
+		if err := write(ce); err != nil {
+			return err
+		}
+	}
+
+	// Name the stage threads once per process.
+	for _, comp := range comps {
+		pid := pids[comp]
+		for s := Stage(0); s < numStages; s++ {
+			if err := write(chromeMeta{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: int(s) + 1,
+				Args: map[string]any{"name": s.String()},
+			}); err != nil {
+				return err
+			}
+		}
+	}
+
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

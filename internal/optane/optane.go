@@ -17,6 +17,7 @@ package optane
 import (
 	"repro/internal/dram"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -95,6 +96,10 @@ type Config struct {
 	DIMMs       int
 	Interleaved bool
 	Seed        uint64
+
+	// Obs, when set, registers the reference model's counters with the
+	// observability registry and enables hook emission. Runtime-only.
+	Obs *obs.Obs `json:"-"`
 }
 
 // DefaultConfig is the 1-DIMM non-interleaved App Direct setup LENS
@@ -232,6 +237,12 @@ type System struct {
 
 	// Tails records injected tail events (iteration analysis).
 	Tails uint64
+
+	reads  uint64
+	writes uint64
+
+	o    *obs.Obs
+	comp string
 }
 
 // New builds a reference system.
@@ -254,6 +265,15 @@ func New(cfg Config) *System {
 		s.lsq = append(s.lsq, newLRUSet(s.p.LSQBytes, 64))
 		s.rmw = append(s.rmw, newLRUSet(s.p.RMWBytes, s.p.RMWGrain))
 		s.ait = append(s.ait, newLRUSet(s.p.AITBytes, s.p.AITGrain))
+	}
+	if cfg.Obs != nil {
+		o := cfg.Obs.Child()
+		o.AdoptEngine(s.eng)
+		s.o = o
+		s.comp = "optane"
+		o.RegisterPtr(s.comp, "reads", &s.reads)
+		o.RegisterPtr(s.comp, "writes", &s.writes)
+		o.RegisterPtr(s.comp, "tails", &s.Tails)
 	}
 	return s
 }
@@ -345,11 +365,13 @@ func (s *System) Submit(r *mem.Request) bool {
 
 	switch r.Op {
 	case mem.OpRead:
+		s.reads++
 		latNs = s.readLatency(di, local)
 		occNs = s.p.OccLoad1 / s.occScale()
 		s.rmw[di].touch(local)
 		s.ait[di].touch(local)
 	case mem.OpWriteNT, mem.OpWrite, mem.OpClwb:
+		s.writes++
 		isWrite = true
 		latNs = s.writeLatency(di, local)
 		if r.Op == mem.OpWriteNT {
@@ -397,8 +419,16 @@ func (s *System) Submit(r *mem.Request) bool {
 		done = now + 1
 	}
 	s.inflight++
+	if s.o.Active() {
+		s.o.Emit(obs.Event{Now: now, Stage: obs.StageRequest, Pos: obs.PosIssue,
+			Write: isWrite, Comp: s.comp, Addr: r.Addr, Arg: uint64(done - now)})
+	}
 	s.eng.Schedule(done, func() {
 		s.inflight--
+		if s.o.Active() {
+			s.o.Emit(obs.Event{Now: s.eng.Now(), Stage: obs.StageRequest, Pos: obs.PosComplete,
+				Write: isWrite, Comp: s.comp, Addr: r.Addr})
+		}
 		r.Complete(s.eng.Now())
 	})
 	return true
@@ -412,6 +442,11 @@ func (s *System) tailNs(addr uint64) float64 {
 	if s.wear[blk] >= s.p.TailEvery {
 		s.wear[blk] = 0
 		s.Tails++
+		if s.o.Active() {
+			s.o.Emit(obs.Event{Now: s.eng.Now(), Stage: obs.StageWear, Pos: obs.PosMigrate,
+				Write: true, Comp: s.comp, Addr: blk,
+				Arg: uint64(dram.NsToCycles(s.p.TailStallNs))})
+		}
 		return s.p.TailStallNs
 	}
 	return 0

@@ -11,16 +11,20 @@ import (
 //	POST /v1/jobs            submit a JobSpec; ?wait=1 blocks until terminal
 //	GET  /v1/jobs/{id}       job status
 //	GET  /v1/jobs/{id}/result  result of a completed job
+//	GET  /v1/jobs/{id}/trace   NDJSON lifecycle trace of a traced job
 //	GET  /v1/healthz         liveness + drain state
 //	GET  /v1/metrics         expvar-style service metrics
+//	GET  /v1/metrics/prom    Prometheus text exposition format
 //	POST /v1/sweep           fan a parameter sweep across the pool (NDJSON)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/metrics/prom", s.handleMetricsProm)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	return mux
 }
@@ -139,4 +143,36 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+}
+
+func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.WritePrometheus(w)
+}
+
+// handleTrace streams a traced job's lifecycle as NDJSON (one stage event per
+// line). Jobs submitted without "trace": true have no trace and get 404.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	res, st, ok := s.Result(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	switch st.State {
+	case JobDone:
+	case JobQueued, JobRunning:
+		writeJSON(w, http.StatusAccepted, st)
+		return
+	default:
+		writeJSON(w, http.StatusConflict, st)
+		return
+	}
+	lt := res.Trace()
+	if lt == nil {
+		writeError(w, http.StatusNotFound,
+			errors.New("job was not traced; submit with \"trace\": true"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_ = lt.WriteNDJSON(w)
 }

@@ -38,6 +38,10 @@ type JobSpec struct {
 	// a power-fail cut, an engine crash) into the run. Part of the canonical
 	// hash: faulty runs cache and reproduce like any other job.
 	Fault *fault.Spec `json:"fault,omitempty"`
+	// Trace enables lifecycle trace capture; the recorded trace is streamed
+	// by GET /v1/jobs/{id}/trace. Part of the canonical hash so traced and
+	// untraced runs cache separately (the trace stays retrievable).
+	Trace bool `json:"trace,omitempty"`
 }
 
 // ConfigSpec selects the simulated system.
@@ -91,8 +95,9 @@ const (
 )
 
 // hashVersion re-keys the cache whenever the plan layout or runner semantics
-// change incompatibly. v2: the plan gained the fault spec.
-const hashVersion = "nvmserved/2:"
+// change incompatibly. v3: the plan gained capture_trace and results gained
+// the observability dump.
+const hashVersion = "nvmserved/3:"
 
 // Plan is the validated, fully defaulted form of a JobSpec: every size
 // parsed, every default applied. Hashing and execution both work from the
@@ -116,6 +121,7 @@ type Plan struct {
 	Window       int        `json:"window"`
 	Seed         uint64     `json:"seed"`
 	Fault        fault.Spec `json:"fault"`
+	CaptureTrace bool       `json:"capture_trace"`
 }
 
 // Hash returns the canonical job hash: SHA-256 over a version tag plus the
@@ -205,6 +211,7 @@ func (s JobSpec) Compile() (*Plan, error) {
 	if p.Seed == 0 {
 		p.Seed = 1
 	}
+	p.CaptureTrace = s.Trace
 	if s.Fault != nil {
 		if err := s.Fault.Validate(); err != nil {
 			return nil, err

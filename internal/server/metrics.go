@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -26,12 +27,34 @@ type Metrics struct {
 	cacheHits        uint64
 	cacheMisses      uint64
 	busy             time.Duration
-	latency          *sim.Accumulator // job wall latency, milliseconds
-	start            time.Time
+	// Job wall latency. The exact accumulator keeps every sample only while
+	// short (maxExactLatencySamples), giving exact percentiles for short
+	// runs; the bounded histogram carries the distribution forever, so a
+	// long-lived daemon's memory stays O(buckets) instead of O(jobs).
+	latencyExact *sim.Accumulator
+	latencyHist  *obs.Histogram // nanoseconds of wall time
+	// stages merges the per-stage simulated-latency histograms out of every
+	// completed job's observability dump, keyed by dump name
+	// ("dimm0/media/read_ns"). Served as Prometheus histograms.
+	stages map[string]*obs.Histogram
+	start  time.Time
 }
 
+// maxExactLatencySamples bounds the exact job-latency accumulator; beyond it
+// percentiles come from the bounded histogram.
+const maxExactLatencySamples = 4096
+
+// latencyNsBounds covers job wall latencies from 1us to ~19min in doubling
+// buckets.
+func latencyNsBounds() []uint64 { return obs.ExpBounds(1<<10, 30) }
+
 func newMetrics() *Metrics {
-	return &Metrics{latency: sim.NewAccumulator(), start: time.Now()}
+	return &Metrics{
+		latencyExact: sim.NewAccumulator(),
+		latencyHist:  obs.NewHistogram(latencyNsBounds()),
+		stages:       make(map[string]*obs.Histogram),
+		start:        time.Now(),
+	}
 }
 
 func (m *Metrics) add(field *uint64) {
@@ -63,8 +86,44 @@ func (m *Metrics) cacheHit() {
 func (m *Metrics) jobCompleted(wall time.Duration) {
 	m.mu.Lock()
 	m.completed++
-	m.latency.Observe(float64(wall) / float64(time.Millisecond))
+	if m.latencyExact.N() < maxExactLatencySamples {
+		m.latencyExact.Observe(float64(wall) / float64(time.Millisecond))
+	}
+	m.latencyHist.Observe(uint64(wall.Nanoseconds()))
 	m.mu.Unlock()
+}
+
+// mergeStages folds a completed job's stage-latency histograms into the
+// service-wide per-stage distributions.
+func (m *Metrics) mergeStages(d *obs.Dump) {
+	if d == nil {
+		return
+	}
+	m.mu.Lock()
+	for i := range d.Histograms {
+		h := &d.Histograms[i]
+		agg, ok := m.stages[h.Name]
+		if !ok {
+			agg = obs.NewHistogram(h.Bounds)
+			m.stages[h.Name] = agg
+		}
+		agg.MergeDump(h)
+	}
+	m.mu.Unlock()
+}
+
+// stageSnapshot copies the merged per-stage histograms for rendering outside
+// the lock.
+func (m *Metrics) stageSnapshot() map[string]*obs.Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]*obs.Histogram, len(m.stages))
+	for name, h := range m.stages {
+		c := obs.NewHistogram(h.Bounds())
+		c.Merge(h)
+		out[name] = c
+	}
+	return out
 }
 
 // workerBusy accrues wall time a worker spent executing a job, for the
@@ -129,7 +188,7 @@ func (m *Metrics) snapshot(workers, workersBusy, queueDepth, queueCap, cacheLen 
 		CacheHits:         m.cacheHits,
 		CacheMisses:       m.cacheMisses,
 		CacheEntries:      cacheLen,
-		JobLatencyMs:      m.latency.Summarize(),
+		JobLatencyMs:      m.latencySummaryLocked(),
 	}
 	if lookups := m.cacheHits + m.cacheMisses; lookups > 0 {
 		s.CacheHitRate = float64(m.cacheHits) / float64(lookups)
@@ -138,4 +197,23 @@ func (m *Metrics) snapshot(workers, workersBusy, queueDepth, queueCap, cacheLen 
 		s.WorkerUtilization = float64(m.busy) / (float64(uptime) * float64(workers))
 	}
 	return s
+}
+
+// latencySummaryLocked summarizes job latency: exact percentiles while the
+// sample set is short, bucket-derived ones after the exact accumulator caps
+// out. Caller holds m.mu.
+func (m *Metrics) latencySummaryLocked() sim.Summary {
+	if uint64(m.latencyExact.N()) == m.latencyHist.N() {
+		return m.latencyExact.Summarize()
+	}
+	h := m.latencyHist
+	toMs := func(ns uint64) float64 { return float64(ns) / 1e6 }
+	return sim.Summary{
+		N:    int(h.N()),
+		Mean: h.Mean() / 1e6,
+		P50:  toMs(h.Quantile(0.50)),
+		P95:  toMs(h.Quantile(0.95)),
+		P99:  toMs(h.Quantile(0.99)),
+		Max:  toMs(h.Max()),
+	}
 }

@@ -1,0 +1,282 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// traceSpec returns a small traced job.
+func traceSpec(seed uint64) JobSpec {
+	s := seqSpec("16K", "store-nt", seed)
+	s.Trace = true
+	return s
+}
+
+func TestResultCarriesObsDump(t *testing.T) {
+	res, err := RunSpec(context.Background(), seqSpec("16K", "store-nt", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Obs == nil || len(res.Obs.Counters) == 0 {
+		t.Fatal("result missing observability dump")
+	}
+	vals := map[string]uint64{}
+	for _, c := range res.Obs.Counters {
+		vals[c.Name] = c.Value
+	}
+	if vals["dimm0/media/writes"] != res.Vans.DIMMs[0].MediaWrites {
+		t.Errorf("dump media writes %d != snapshot %d",
+			vals["dimm0/media/writes"], res.Vans.DIMMs[0].MediaWrites)
+	}
+	if vals["driver/writes"] == 0 {
+		t.Error("driver writes not counted")
+	}
+	var hists int
+	for _, h := range res.Obs.Histograms {
+		if h.Count > 0 {
+			hists++
+		}
+	}
+	if hists == 0 {
+		t.Error("no stage-latency histogram collected any samples")
+	}
+	// An untraced run records no lifecycle.
+	if res.Trace() != nil {
+		t.Error("untraced run carries a trace")
+	}
+}
+
+func TestTraceHashedSeparately(t *testing.T) {
+	plain, err := seqSpec("16K", "store-nt", 1).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := traceSpec(1).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Hash() == traced.Hash() {
+		t.Fatal("traced and untraced jobs share a hash; a cached untraced result would shadow the trace")
+	}
+}
+
+func TestTraceCaptureDeterministicAndBounded(t *testing.T) {
+	res, err := RunSpec(context.Background(), traceSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt := res.Trace()
+	if lt == nil || len(lt.Events()) == 0 {
+		t.Fatal("traced run recorded no events")
+	}
+	if lt.Limit != serverTraceLimit {
+		t.Errorf("trace limit %d, want %d", lt.Limit, serverTraceLimit)
+	}
+	res2, err := RunSpec(context.Background(), traceSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Trace().Events()) != len(lt.Events()) {
+		t.Fatalf("trace lengths differ across identical runs: %d vs %d",
+			len(res2.Trace().Events()), len(lt.Events()))
+	}
+	// The canonical result must not serialize the trace (byte-identity
+	// across traced/untraced cache entries is keyed by hash, not payload
+	// shape).
+	if strings.Contains(string(res.Canonical()), "\"events\"") {
+		t.Error("canonical result leaks trace events")
+	}
+}
+
+func TestHTTPTraceEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, QueueDepth: 16})
+
+	// Traced job: NDJSON stream with one parseable event per line.
+	resp := postJSON(t, ts.URL+"/v1/jobs?wait=1", traceSpec(1))
+	sub := decodeBody[submitResponse](t, resp)
+	if sub.Job.State != JobDone {
+		t.Fatalf("job state %s", sub.Job.State)
+	}
+	tr, err := http.Get(ts.URL + "/v1/jobs/" + sub.Job.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Body.Close()
+	if tr.StatusCode != http.StatusOK {
+		t.Fatalf("trace status %d", tr.StatusCode)
+	}
+	if ct := tr.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type %q", ct)
+	}
+	sc := bufio.NewScanner(tr.Body)
+	lines := 0
+	for sc.Scan() {
+		var ev struct {
+			Stage string `json:"stage"`
+			Pos   string `json:"pos"`
+			Comp  string `json:"comp"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d: %v", lines, err)
+		}
+		if ev.Stage == "" || ev.Pos == "" || ev.Comp == "" {
+			t.Fatalf("line %d incomplete: %s", lines, sc.Text())
+		}
+		lines++
+	}
+	if lines == 0 {
+		t.Fatal("empty trace stream")
+	}
+
+	// Untraced job: 404 with a hint.
+	resp = postJSON(t, ts.URL+"/v1/jobs?wait=1", seqSpec("16K", "store-nt", 2))
+	sub = decodeBody[submitResponse](t, resp)
+	tr, err = http.Get(ts.URL + "/v1/jobs/" + sub.Job.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Body.Close()
+	if tr.StatusCode != http.StatusNotFound {
+		t.Errorf("untraced job trace status %d, want 404", tr.StatusCode)
+	}
+
+	// Unknown job: 404.
+	tr, err = http.Get(ts.URL + "/v1/jobs/zzz/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Body.Close()
+	if tr.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job trace status %d, want 404", tr.StatusCode)
+	}
+}
+
+func TestHTTPPrometheusEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, QueueDepth: 16})
+	for seed := uint64(1); seed <= 3; seed++ {
+		resp := postJSON(t, ts.URL+"/v1/jobs?wait=1", seqSpec("16K", "store-nt", seed))
+		if sub := decodeBody[submitResponse](t, resp); sub.Job.State != JobDone {
+			t.Fatalf("seed %d state %s", seed, sub.Job.State)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/metrics/prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+
+	// Structural validity: every non-comment line is "name{labels} value";
+	// every exposed metric family has HELP and TYPE.
+	types := map[string]string{}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" {
+			t.Fatal("blank line in exposition")
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			types[f[2]] = f[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 2 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+	}
+
+	for name, typ := range map[string]string{
+		"nvmserved_jobs_completed_total": "counter",
+		"nvmserved_queue_depth":          "gauge",
+		"nvmserved_breaker_state":        "gauge",
+		"nvmserved_job_latency_seconds":  "histogram",
+		"nvmserved_stage_latency_ns":     "histogram",
+	} {
+		if types[name] != typ {
+			t.Errorf("%s TYPE = %q, want %q", name, types[name], typ)
+		}
+	}
+	if !strings.Contains(text, "nvmserved_jobs_completed_total 3") {
+		t.Error("completed counter not 3")
+	}
+	if !strings.Contains(text, `nvmserved_job_latency_seconds_bucket{le="+Inf"} 3`) {
+		t.Error("job latency +Inf bucket not 3")
+	}
+	if !strings.Contains(text, `nvmserved_stage_latency_ns_bucket{stage="dimm0/media/write_ns",le=`) {
+		t.Error("per-stage media write histogram missing")
+	}
+	if !strings.Contains(text, `nvmserved_stage_latency_ns_count{stage="driver/write_ns"}`) {
+		t.Error("per-stage driver histogram missing")
+	}
+}
+
+func TestMetricsLatencyBounded(t *testing.T) {
+	m := newMetrics()
+	// Below the cap: exact and histogram agree, summary is exact.
+	for i := 0; i < 100; i++ {
+		m.jobCompleted(time.Duration(i+1) * time.Millisecond)
+	}
+	s := m.snapshot(1, 0, 0, 1, 0)
+	if s.JobLatencyMs.N != 100 {
+		t.Fatalf("N = %d", s.JobLatencyMs.N)
+	}
+	if s.JobLatencyMs.Max != 100 {
+		t.Errorf("exact max = %v, want 100", s.JobLatencyMs.Max)
+	}
+
+	// Push past the cap: the exact accumulator freezes, the histogram keeps
+	// counting, and the summary switches to bucket-derived percentiles.
+	for i := 0; i < maxExactLatencySamples; i++ {
+		m.jobCompleted(10 * time.Millisecond)
+	}
+	if n := m.latencyExact.N(); n != maxExactLatencySamples {
+		t.Fatalf("exact accumulator grew past cap: %d", n)
+	}
+	s = m.snapshot(1, 0, 0, 1, 0)
+	if s.JobLatencyMs.N != 100+maxExactLatencySamples {
+		t.Fatalf("summary N = %d, want %d", s.JobLatencyMs.N, 100+maxExactLatencySamples)
+	}
+	if s.JobLatencyMs.P50 <= 0 {
+		t.Error("bucket-derived p50 not positive")
+	}
+}
+
+func TestMergeStagesAccumulates(t *testing.T) {
+	m := newMetrics()
+	d := &obs.Dump{Histograms: []obs.HistogramDump{{
+		Name: "dimm0/media/write_ns", Count: 2, Sum: 200, Min: 90, Max: 110,
+		Bounds: []uint64{100, 200}, Counts: []uint64{1, 1, 0},
+	}}}
+	m.mergeStages(d)
+	m.mergeStages(d)
+	m.mergeStages(nil) // nil-safe
+	snap := m.stageSnapshot()
+	h := snap["dimm0/media/write_ns"]
+	if h == nil || h.N() != 4 || h.Sum() != 400 {
+		t.Fatalf("merged histogram = %+v", h)
+	}
+}

@@ -7,8 +7,10 @@ import (
 	"strings"
 
 	"repro/internal/cpu"
+	"repro/internal/dram"
 	"repro/internal/fault"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/vans"
@@ -31,10 +33,29 @@ type Result struct {
 	AvgLatencyNs  float64       `json:"avg_latency_ns"`
 	BandwidthGBs  float64       `json:"bandwidth_gbs"`
 	Vans          vans.Snapshot `json:"vans"`
+	// Obs is the aggregated observability dump: every registry counter and
+	// stage-latency histogram across the whole stack. Simulation-domain and
+	// deterministic (sorted names, cycle-derived values), so byte-identity
+	// of canonical results is preserved.
+	Obs *obs.Dump `json:"obs,omitempty"`
 	// Crash is the crash-consistency report of a power-fail job (nil
 	// otherwise). Like everything else here it is simulation-domain only.
 	Crash *fault.CrashReport `json:"crash,omitempty"`
+
+	// trace holds the recorded lifecycle trace of a CaptureTrace run.
+	// Unexported: never part of the canonical JSON, streamed separately by
+	// GET /v1/jobs/{id}/trace.
+	trace *obs.Lifecycle
 }
+
+// Trace returns the recorded lifecycle trace (nil unless the plan set
+// CaptureTrace).
+func (r *Result) Trace() *obs.Lifecycle { return r.trace }
+
+// serverTraceLimit caps per-job trace capture in the service: enough to
+// follow hundreds of thousands of stage transitions while bounding resident
+// memory per cached traced job.
+const serverTraceLimit = 1 << 18
 
 // Canonical returns the canonical JSON encoding used for byte-identity
 // comparisons across workers.
@@ -92,8 +113,19 @@ func (rn *Runner) RunAttempt(ctx context.Context, p *Plan, attempt int) (*Result
 
 	cfg := p.VansConfig()
 	cfg.FaultAttempt = attempt
+	// Observability context for this attempt. The tracer must attach before
+	// vans.New: children copy the hook set at construction.
+	o := obs.New()
+	var lt *obs.Lifecycle
+	if p.CaptureTrace {
+		lt = obs.NewLifecycle(dram.CyclesPerNano)
+		lt.Limit = serverTraceLimit
+		o.Attach(lt)
+	}
+	cfg.Obs = o
 	sys := vans.New(cfg)
 	d := mem.NewDriver(sys)
+	d.SetObs(o)
 	every := rn.checkEvery
 	if every == 0 {
 		every = 1024
@@ -146,6 +178,8 @@ func (rn *Runner) RunAttempt(ctx context.Context, p *Plan, attempt int) (*Result
 		AvgLatencyNs:  mem.ToNs(sys, elapsed) / float64(len(accs)),
 		BandwidthGBs:  mem.BandwidthGBs(sys, bytesMoved, elapsed+drain),
 		Vans:          sys.Snapshot(),
+		Obs:           o.Dump(),
+		trace:         lt,
 	}
 	return res, nil
 }

@@ -301,6 +301,7 @@ func (s *Server) finalize(j *Job, res *Result, err error, wall time.Duration) {
 		j.result = res
 		s.cache.Put(j.hash, res)
 		s.metrics.jobCompleted(wall)
+		s.metrics.mergeStages(res.Obs)
 		s.brk.recordSuccess()
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		j.state = JobCanceled

@@ -52,6 +52,7 @@ type Engine struct {
 	now   Cycle
 	seq   uint64
 	fired uint64
+	peak  int // high-water mark of Pending(), updated on every schedule
 
 	// heap holds events with at > now (at insertion time), ordered as a
 	// 4-ary min-heap by (at, seq).
@@ -77,6 +78,17 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending returns the number of scheduled, not yet executed events.
 func (e *Engine) Pending() int { return len(e.heap) + len(e.nowq) - e.nowHead }
 
+// PeakPending returns the highest Pending() observed across the run — the
+// peak queue depth reported in observability digests.
+func (e *Engine) PeakPending() int { return e.peak }
+
+// notePeak updates the pending high-water mark; called on every schedule.
+func (e *Engine) notePeak() {
+	if p := len(e.heap) + len(e.nowq) - e.nowHead; p > e.peak {
+		e.peak = p
+	}
+}
+
 // NextAt peeks at the timestamp of the earliest pending event. ok is false
 // when no events are scheduled. Used by drivers that must stop the
 // simulation at an exact cycle (power-fail cuts) without firing anything
@@ -98,9 +110,11 @@ func (e *Engine) Schedule(at Cycle, fn func()) {
 	e.seq++
 	if at <= e.now {
 		e.nowq = append(e.nowq, event{at: e.now, seq: e.seq, fn: fn})
+		e.notePeak()
 		return
 	}
 	e.heapPush(event{at: at, seq: e.seq, fn: fn})
+	e.notePeak()
 }
 
 // After runs fn delay cycles from now.
@@ -115,9 +129,11 @@ func (e *Engine) ScheduleFn(at Cycle, fn func(any), arg any) {
 	e.seq++
 	if at <= e.now {
 		e.nowq = append(e.nowq, event{at: e.now, seq: e.seq, afn: fn, arg: arg})
+		e.notePeak()
 		return
 	}
 	e.heapPush(event{at: at, seq: e.seq, afn: fn, arg: arg})
+	e.notePeak()
 }
 
 // AfterFn runs fn(arg) delay cycles from now (the allocation-free variant of

@@ -1,0 +1,234 @@
+package vans
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/obs"
+)
+
+// traceRun drives accs through a fresh observed system and returns the
+// recorded lifecycle.
+func traceRun(cfg Config, accs []mem.Access) *obs.Lifecycle {
+	o := obs.New()
+	lt := obs.NewLifecycle(1)
+	o.Attach(lt)
+	cfg.Obs = o
+	s := New(cfg)
+	d := mem.NewDriver(s)
+	d.SetObs(o)
+	d.RunChain(accs)
+	d.Fence()
+	return lt
+}
+
+// sequence flattens a trace to "comp stage pos[ w]" lines.
+func sequence(lt *obs.Lifecycle) []string {
+	out := make([]string, 0, len(lt.Events()))
+	for _, ev := range lt.Events() {
+		line := fmt.Sprintf("%s %s %s", ev.Comp, ev.Stage, ev.Pos)
+		if ev.Write {
+			line += " w"
+		}
+		out = append(out, line)
+	}
+	return out
+}
+
+func diffSeq(t *testing.T, got, want []string) {
+	t.Helper()
+	for i := 0; i < len(got) || i < len(want); i++ {
+		g, w := "<end>", "<end>"
+		if i < len(got) {
+			g = got[i]
+		}
+		if i < len(want) {
+			w = want[i]
+		}
+		if g != w {
+			t.Fatalf("event %d: got %q, want %q\nfull sequence:\n%s",
+				i, g, w, strings.Join(got, "\n"))
+		}
+	}
+}
+
+// TestGoldenReadMissLifecycle pins the exact stage sequence of one cold 64B
+// load: request issue, RPQ entry, RMW miss, AIT translate (table read through
+// on-DIMM DRAM, sector miss), the demand media read plus the background
+// sector fill (issued but completing past the fence), AIT writeback into
+// DRAM, RPQ completion, request completion. The trailing pair is the fence.
+func TestGoldenReadMissLifecycle(t *testing.T) {
+	cfg := smallNV(DefaultConfig())
+	lt := traceRun(cfg, []mem.Access{{Op: mem.OpRead, Addr: 1 << 20, Size: 64}})
+	want := []string{
+		"driver request issue",
+		"imc0 rpq enqueue",
+		"dimm0 rmw miss",
+		"dimm0 ait issue",
+		"dimm0/dram dram issue",
+		"dimm0 ait miss",
+	}
+	// 16 media reads: 4 demand lines + 12 speculative sector-fill lines.
+	for i := 0; i < 16; i++ {
+		want = append(want, "dimm0/media media issue")
+	}
+	// Only the 4 demand-line completions fire before the engine drains.
+	for i := 0; i < 4; i++ {
+		want = append(want, "dimm0/media media complete")
+	}
+	want = append(want,
+		"dimm0/dram dram issue w", // AIT sector install (4 DRAM line writes)
+		"dimm0/dram dram issue w",
+		"dimm0/dram dram issue w",
+		"dimm0/dram dram issue w",
+		"imc0 rpq complete",
+		"driver request complete",
+		"driver request issue", // fence
+		"driver request complete w",
+	)
+	diffSeq(t, sequence(lt), want)
+}
+
+// TestGoldenWriteCombineLifecycle pins the store path: four 64B NT stores to
+// one 256B block ride WPQ -> LSQ, combine into a full-block RMW hit, issue
+// one AIT translate and one 256B media write.
+func TestGoldenWriteCombineLifecycle(t *testing.T) {
+	cfg := smallNV(DefaultConfig())
+	lt := traceRun(cfg, []mem.Access{
+		{Op: mem.OpWriteNT, Addr: 4096, Size: 64},
+		{Op: mem.OpWriteNT, Addr: 4160, Size: 64},
+		{Op: mem.OpWriteNT, Addr: 4224, Size: 64},
+		{Op: mem.OpWriteNT, Addr: 4288, Size: 64},
+	})
+	var want []string
+	perStore := []string{
+		"driver request issue w",
+		"imc0 wpq enqueue w",
+		"imc0 wpq dequeue w",
+		"dimm0 lsq enqueue w",
+	}
+	for i := 0; i < 3; i++ {
+		want = append(want, perStore...)
+		want = append(want, "driver request complete w")
+	}
+	want = append(want, perStore...)
+	want = append(want,
+		"dimm0 lsq dequeue w", // 4th store fills the group: drain + combine
+		"dimm0 rmw hit w",
+		"dimm0 ait issue w",
+		"driver request complete w",
+		"driver request issue", // fence pushes the combined write to media
+		"dimm0/dram dram issue",
+		"dimm0/media media issue w",
+		"dimm0/dram dram issue w",
+		"dimm0/media media complete w",
+		"driver request complete w",
+	)
+	diffSeq(t, sequence(lt), want)
+}
+
+// TestGoldenWearMigrationLifecycle pins the wear path: with WearThreshold=1
+// the first full-block media write trips the wear-leveler, appending exactly
+// one migration event after the media write completes.
+func TestGoldenWearMigrationLifecycle(t *testing.T) {
+	cfg := smallNV(DefaultConfig())
+	cfg.NV.WearThreshold = 1
+	cfg.NV.MigrationNs = 100
+	lt := traceRun(cfg, []mem.Access{
+		{Op: mem.OpWriteNT, Addr: 0, Size: 64},
+		{Op: mem.OpWriteNT, Addr: 64, Size: 64},
+		{Op: mem.OpWriteNT, Addr: 128, Size: 64},
+		{Op: mem.OpWriteNT, Addr: 192, Size: 64},
+	})
+	seq := sequence(lt)
+	var migrations int
+	for _, line := range seq {
+		if line == "dimm0/wear wear migrate w" {
+			migrations++
+		}
+	}
+	if migrations != 1 {
+		t.Fatalf("saw %d migration events, want 1\n%s", migrations, strings.Join(seq, "\n"))
+	}
+	// The migration trails the media write that crossed the threshold.
+	if got := seq[len(seq)-2]; got != "dimm0/wear wear migrate w" {
+		t.Fatalf("migration not in tail position: %q\n%s", got, strings.Join(seq, "\n"))
+	}
+}
+
+// TestChromeTraceParallelDeterminism pins the `-trace` contract under -j:
+// identical runs on concurrently-driven systems export byte-identical Chrome
+// traces.
+func TestChromeTraceParallelDeterminism(t *testing.T) {
+	accs := []mem.Access{
+		{Op: mem.OpRead, Addr: 1 << 20, Size: 64},
+		{Op: mem.OpWriteNT, Addr: 4096, Size: 64},
+		{Op: mem.OpWriteNT, Addr: 4160, Size: 64},
+		{Op: mem.OpRead, Addr: 1 << 21, Size: 64},
+	}
+	const runs = 4
+	outs := make([][]byte, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lt := traceRun(smallNV(DefaultConfig()), accs)
+			var buf bytes.Buffer
+			if err := lt.WriteChromeTrace(&buf); err != nil {
+				t.Errorf("run %d: %v", i, err)
+				return
+			}
+			outs[i] = buf.Bytes()
+		}(i)
+	}
+	wg.Wait()
+	if len(outs[0]) == 0 {
+		t.Fatal("empty trace")
+	}
+	for i := 1; i < runs; i++ {
+		if !bytes.Equal(outs[0], outs[i]) {
+			t.Fatalf("run %d trace differs from run 0 (%d vs %d bytes)",
+				i, len(outs[i]), len(outs[0]))
+		}
+	}
+}
+
+// TestObsCountersMatchSnapshot cross-checks the registry against the existing
+// snapshot plumbing: both views must report identical media traffic.
+func TestObsCountersMatchSnapshot(t *testing.T) {
+	o := obs.New()
+	cfg := smallNV(DefaultConfig())
+	cfg.Obs = o
+	s := New(cfg)
+	d := mem.NewDriver(s)
+	d.SetObs(o)
+	d.RunChain([]mem.Access{
+		{Op: mem.OpRead, Addr: 1 << 20, Size: 64},
+		{Op: mem.OpWriteNT, Addr: 0, Size: 64},
+	})
+	d.Fence()
+
+	dump := o.Dump()
+	vals := map[string]uint64{}
+	for _, c := range dump.Counters {
+		vals[c.Name] = c.Value
+	}
+	snap := s.Snapshot()
+	if vals["dimm0/media/reads"] != snap.DIMMs[0].MediaReads {
+		t.Errorf("registry media reads %d != snapshot %d",
+			vals["dimm0/media/reads"], snap.DIMMs[0].MediaReads)
+	}
+	if vals["dimm0/media/writes"] != snap.DIMMs[0].MediaWrites {
+		t.Errorf("registry media writes %d != snapshot %d",
+			vals["dimm0/media/writes"], snap.DIMMs[0].MediaWrites)
+	}
+	if vals["driver/reads"] != 1 || vals["driver/writes"] != 1 {
+		t.Errorf("driver counters reads=%d writes=%d, want 1/1",
+			vals["driver/reads"], vals["driver/writes"])
+	}
+}

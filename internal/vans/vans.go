@@ -7,11 +7,14 @@
 package vans
 
 import (
+	"fmt"
+
 	"repro/internal/dram"
 	"repro/internal/fault"
 	"repro/internal/imc"
 	"repro/internal/mem"
 	"repro/internal/nvdimm"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -56,6 +59,11 @@ type Config struct {
 	// FaultAttempt is the retry attempt number; transient faults fire only
 	// on attempt 0, so a retried run deterministically succeeds.
 	FaultAttempt int
+	// Obs, when set, wires the whole stack (iMC, DIMMs, media, on-DIMM DRAM,
+	// wear-leveler) into the observability registry. The system builds its
+	// own child context, so one parent Obs can safely serve parallel systems.
+	// Runtime-only: never serialized, never part of a config hash.
+	Obs *obs.Obs `json:"-"`
 }
 
 // DefaultConfig returns a single non-interleaved App Direct DIMM, the
@@ -85,6 +93,7 @@ type System struct {
 	imc   *imc.IMC
 	dimms []*nvdimm.DIMM
 	cache *nearCache // Memory mode only
+	o     *obs.Obs   // this system's child observability context (may be nil)
 }
 
 // New builds a System from cfg (zero fields defaulted).
@@ -99,8 +108,17 @@ func New(cfg Config) *System {
 	cfg.IMC.Interleaved = cfg.Interleaved
 	eng := sim.NewEngine()
 	s := &System{eng: eng, cfg: cfg}
+	if cfg.Obs != nil {
+		s.o = cfg.Obs.Child()
+		s.o.AdoptEngine(eng)
+		cfg.IMC.Obs = s.o
+	}
 	for i := 0; i < cfg.DIMMs; i++ {
 		nvCfg := cfg.NV
+		if s.o != nil {
+			nvCfg.Obs = s.o
+			nvCfg.ObsName = fmt.Sprintf("dimm%d", i)
+		}
 		if cfg.Fault.Enabled() {
 			// Each DIMM gets its own injector with a derived seed so fault
 			// placement is deterministic regardless of DIMM count.
@@ -135,6 +153,10 @@ func (s *System) Config() Config { return s.cfg }
 
 // IMC exposes the memory controller.
 func (s *System) IMC() *imc.IMC { return s.imc }
+
+// Obs returns this system's observability context (nil when Config.Obs was
+// not set).
+func (s *System) Obs() *obs.Obs { return s.o }
 
 // DIMMs exposes the NVDIMM models.
 func (s *System) DIMMs() []*nvdimm.DIMM { return s.dimms }
