@@ -4,13 +4,33 @@ GO ?= go
 # microbenchmarks, and the observability hot-path (hooks-disabled overhead).
 BENCH_PKGS = ./ ./internal/sim/ ./internal/obs/
 
-.PHONY: ci build vet test race fmt-check fmt fuzz-smoke fuzz bench bench-smoke trace-smoke
+.PHONY: ci build vet test race fmt-check fmt fuzz-smoke fuzz bench bench-smoke trace-smoke cluster-smoke cluster-demo
 
 # ci is the gate: vet, build, the full suite under the race detector
 # (including the nvmserved integration tests and the randomized ADR
 # crash-consistency property test), a short fuzz smoke per target, a
-# single-iteration bench smoke, a trace-export smoke, and a gofmt check.
-ci: vet build race fuzz-smoke bench-smoke trace-smoke fmt-check
+# single-iteration bench smoke, a trace-export smoke, a 3-node cluster
+# smoke, and a gofmt check.
+ci: vet build race fuzz-smoke bench-smoke trace-smoke cluster-smoke fmt-check
+
+# cluster-smoke boots a 3-node loopback fleet through nvmload -demo and
+# verifies the whole cluster story end to end: consistent-hash sharding,
+# peer cache fill, hedged dispatch around a handicapped straggler, and a
+# SIGKILLed node mid-sweep — every phase checked byte-identical against a
+# single-node reference. Small sweep sizes keep the gate fast.
+cluster-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) build -o $$tmp/nvmserved ./cmd/nvmserved && \
+	$(GO) build -o $$tmp/nvmload ./cmd/nvmload && \
+	$$tmp/nvmload -demo -serve-bin $$tmp/nvmserved \
+		-points 12 -throughput-points 24 -kill-points 24
+
+# cluster-demo is the full-size showpiece run of the same orchestration.
+cluster-demo:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) build -o $$tmp/nvmserved ./cmd/nvmserved && \
+	$(GO) build -o $$tmp/nvmload ./cmd/nvmload && \
+	$$tmp/nvmload -demo -serve-bin $$tmp/nvmserved
 
 # trace-smoke exports a tiny Chrome trace through `vans -trace` and validates
 # it with tracecheck — the end-to-end guard on the trace_event exporter.

@@ -9,33 +9,58 @@
 //	          [-job-timeout 60s] [-drain-timeout 30s]
 //	          [-max-retries 2] [-retry-base 10ms] [-retry-max 500ms]
 //	          [-breaker-threshold 5] [-breaker-cooldown 5s]
+//	          [-node-id n1] [-peers n1=host:port,n2=host:port,...]
+//	          [-hedge-after 0] [-handicap 0]
 //	          [-debug-addr localhost:6060]
+//
+// Cluster mode: -node-id names this member and -peers lists the full fixed
+// membership (self included) as id=host:port pairs. Every node then serves
+// the coordinator API (/v1/cluster/...) and the peer protocol (/v1/peer/...)
+// alongside the local API: canonical job hashes are consistent-hashed onto
+// the membership, results computed anywhere become cache hits everywhere via
+// peer fill, and straggler dispatches are hedged to a second replica
+// (first-answer-wins is safe because results are deterministic). Without
+// -peers the daemon is a cluster of one: the cluster API works and always
+// dispatches locally.
+//
+// -addr :0 binds an ephemeral port; the resolved address is logged and
+// surfaced in /v1/healthz (with queue and cache gauges) so scripts and load
+// generators can discover it deterministically.
+//
+// -handicap delays every locally simulated job by the given duration — a
+// stand-in for a slow node when demoing hedged dispatch. Results are
+// unaffected (they carry no wall-clock quantities).
 //
 // -debug-addr starts a second, opt-in listener serving net/http/pprof
 // (/debug/pprof/...) so the daemon can be profiled live without exposing
 // profiling endpoints on the public API address.
 //
-// See README.md "Running as a service" for the API and curl examples.
+// See README.md "Running as a service" and "Running as a cluster" for the
+// API and curl examples.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux (debug listener only)
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/server"
 )
 
 func main() {
 	var (
-		addr         = flag.String("addr", ":8077", "listen address")
+		addr         = flag.String("addr", ":8077", "listen address (:0 binds an ephemeral port, resolved address is logged and in /v1/healthz)")
 		workers      = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		queue        = flag.Int("queue", 64, "job queue depth")
 		cache        = flag.Int("cache", 256, "result cache entries (negative disables)")
@@ -46,6 +71,10 @@ func main() {
 		retryMax     = flag.Duration("retry-max", 500*time.Millisecond, "retry backoff cap")
 		brkThreshold = flag.Int("breaker-threshold", 5, "consecutive engine failures that open the circuit breaker (negative disables)")
 		brkCooldown  = flag.Duration("breaker-cooldown", 5*time.Second, "how long the breaker stays open before probing")
+		nodeID       = flag.String("node-id", "n1", "this node's id in the cluster membership")
+		peers        = flag.String("peers", "", "full cluster membership as id=host:port pairs, comma separated, self included (empty = single-node)")
+		hedgeAfter   = flag.Duration("hedge-after", 0, "fixed straggler budget before hedging a dispatch (0 = adaptive p95)")
+		handicap     = flag.Duration("handicap", 0, "artificial delay before each locally simulated job (slow-node demo knob)")
 		debugAddr    = flag.String("debug-addr", "", "optional pprof listener address, e.g. localhost:6060 (empty disables)")
 	)
 	flag.Parse()
@@ -72,14 +101,37 @@ func main() {
 		RetryMaxDelay:    *retryMax,
 		BreakerThreshold: *brkThreshold,
 		BreakerCooldown:  *brkCooldown,
+		Handicap:         *handicap,
 	})
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// Bind before wiring the cluster so -addr :0 resolves to a concrete
+	// port that /v1/healthz can advertise.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("nvmserved: listen %s: %v", *addr, err)
+	}
+	resolved := ln.Addr().String()
+	srv.SetIdentity(*nodeID, resolved)
+
+	members, err := parsePeers(*peers, *nodeID, resolved)
+	if err != nil {
+		log.Fatalf("nvmserved: %v", err)
+	}
+	node, err := cluster.NewNode(srv, cluster.Config{
+		SelfID:     *nodeID,
+		Peers:      members,
+		HedgeAfter: *hedgeAfter,
+	})
+	if err != nil {
+		log.Fatalf("nvmserved: %v", err)
+	}
+	httpSrv := &http.Server{Handler: node.Handler()}
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("nvmserved: listening on %s (workers=%d queue=%d cache=%d)",
-			*addr, srv.Options().Workers, *queue, *cache)
-		errc <- httpSrv.ListenAndServe()
+		log.Printf("nvmserved: listening on %s (node=%s members=%d workers=%d queue=%d cache=%d)",
+			resolved, *nodeID, len(members), srv.Options().Workers, *queue, *cache)
+		errc <- httpSrv.Serve(ln)
 	}()
 
 	sigc := make(chan os.Signal, 1)
@@ -106,4 +158,34 @@ func main() {
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("nvmserved: http shutdown: %v", err)
 	}
+}
+
+// parsePeers turns "n1=host:port,n2=host:port" into the cluster membership,
+// defaulting to a single-member cluster of self. Peer addresses become
+// http:// base URLs; the self entry keeps the resolved listen address.
+func parsePeers(spec, self, selfAddr string) ([]cluster.Peer, error) {
+	if strings.TrimSpace(spec) == "" {
+		return []cluster.Peer{{ID: self, URL: "http://" + selfAddr}}, nil
+	}
+	var members []cluster.Peer
+	selfSeen := false
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want id=host:port)", part)
+		}
+		if id == self {
+			selfSeen = true
+			addr = selfAddr
+		}
+		members = append(members, cluster.Peer{ID: id, URL: "http://" + addr})
+	}
+	if !selfSeen {
+		return nil, fmt.Errorf("-peers must include this node's id %q", self)
+	}
+	return members, nil
 }

@@ -1,0 +1,57 @@
+package breaker
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHalfOpenAdmitsOneProbe pins the state machine: while a probe is in
+// flight, further attempts are shed; a failed probe re-opens the circuit.
+func TestHalfOpenAdmitsOneProbe(t *testing.T) {
+	b := New(1, time.Hour)
+	b.RecordFailure()
+	if ok, wait := b.Allow(); ok || wait <= 0 {
+		t.Fatalf("open breaker allowed an attempt (wait %v)", wait)
+	}
+
+	b = New(1, 0) // cooldown elapses immediately
+	b.RecordFailure()
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("post-cooldown breaker refused the probe")
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	b.RecordFailure()
+	if state, _, opens := b.Snapshot(); state != Open || opens != 2 {
+		t.Fatalf("failed probe: state %q opens %d, want open 2", state, opens)
+	}
+
+	disabled := New(-1, time.Hour)
+	for i := 0; i < 10; i++ {
+		disabled.RecordFailure()
+	}
+	if ok, _ := disabled.Allow(); !ok {
+		t.Fatal("disabled breaker shed an attempt")
+	}
+}
+
+// TestSuccessClosesFromAnyState verifies RecordSuccess resets the circuit.
+func TestSuccessClosesFromAnyState(t *testing.T) {
+	b := New(2, 0)
+	b.RecordFailure()
+	b.RecordFailure()
+	if state, _, _ := b.Snapshot(); state != Open {
+		t.Fatalf("state = %q, want open", state)
+	}
+	if ok, _ := b.Allow(); !ok { // half-open probe
+		t.Fatal("probe refused")
+	}
+	b.RecordSuccess()
+	if state, consec, _ := b.Snapshot(); state != Closed || consec != 0 {
+		t.Fatalf("after success: state %q consecutive %d, want closed 0", state, consec)
+	}
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("closed breaker refused an attempt")
+	}
+}

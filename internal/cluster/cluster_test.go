@@ -1,0 +1,378 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// swapHandler lets an httptest server come up before the node it will serve
+// exists — peer URLs must be known to build a Node, but a Node must exist to
+// provide the handler. The test wires the handler in after construction.
+type swapHandler struct {
+	mu sync.RWMutex
+	h  http.Handler
+}
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	h := s.h
+	s.mu.RUnlock()
+	if h == nil {
+		http.Error(w, "not wired yet", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+type testNode struct {
+	id   string
+	srv  *server.Server
+	node *Node
+	ts   *httptest.Server
+}
+
+// startCluster builds n in-process members talking real HTTP to each other.
+// optsFor/cfgFor customize one member (either may be nil for defaults).
+func startCluster(t *testing.T, n int, optsFor func(i int) server.Options, cfgFor func(i int) Config) []*testNode {
+	t.Helper()
+	handlers := make([]*swapHandler, n)
+	nodes := make([]*testNode, n)
+	peers := make([]Peer, n)
+	for i := range nodes {
+		handlers[i] = &swapHandler{}
+		ts := httptest.NewServer(handlers[i])
+		id := fmt.Sprintf("n%d", i+1)
+		nodes[i] = &testNode{id: id, ts: ts}
+		peers[i] = Peer{ID: id, URL: ts.URL}
+	}
+	for i := range nodes {
+		opts := server.Options{Workers: 2, QueueDepth: 64, CacheEntries: 64}
+		if optsFor != nil {
+			opts = optsFor(i)
+		}
+		cfg := Config{}
+		if cfgFor != nil {
+			cfg = cfgFor(i)
+		}
+		cfg.SelfID = nodes[i].id
+		cfg.Peers = peers
+		srv := server.New(opts)
+		node, err := NewNode(srv, cfg)
+		if err != nil {
+			t.Fatalf("NewNode(%s): %v", nodes[i].id, err)
+		}
+		nodes[i].srv, nodes[i].node = srv, node
+		handlers[i].mu.Lock()
+		handlers[i].h = node.Handler()
+		handlers[i].mu.Unlock()
+	}
+	t.Cleanup(func() {
+		for _, tn := range nodes {
+			tn.ts.Close()
+			tn.srv.Shutdown(10 * time.Second)
+		}
+	})
+	return nodes
+}
+
+func clusterChaseSpec(seed uint64) server.JobSpec {
+	return server.JobSpec{
+		Workload: server.WorkloadSpec{Kind: server.KindChase, Region: "16K", MaxSteps: 400},
+		Seed:     seed,
+	}
+}
+
+// specOwnedBy scans seeds for a job whose canonical hash lands on the wanted
+// member.
+func specOwnedBy(t *testing.T, n *Node, id string) server.JobSpec {
+	t.Helper()
+	for seed := uint64(1); seed < 500; seed++ {
+		spec := clusterChaseSpec(seed)
+		p, err := spec.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.Owner(p.Hash()) == id {
+			return spec
+		}
+	}
+	t.Fatalf("no seed below 500 hashes onto %s", id)
+	return server.JobSpec{}
+}
+
+// TestDispatchShardsByHash: a dispatch lands on the ring owner, the owner
+// caches the result, and a re-dispatch from a different coordinator returns
+// byte-identical bytes.
+func TestDispatchShardsByHash(t *testing.T) {
+	nodes := startCluster(t, 3, nil, nil)
+	spec := clusterChaseSpec(7)
+
+	res, route, err := nodes[0].node.Dispatch(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("Dispatch: %v", err)
+	}
+	if route.Owner != nodes[0].node.Owner(route.Hash) {
+		t.Errorf("route owner %s != ring owner %s", route.Owner, nodes[0].node.Owner(route.Hash))
+	}
+	if route.Node != route.Owner {
+		t.Errorf("healthy dispatch answered by %s, want owner %s", route.Node, route.Owner)
+	}
+	var ownerSrv *server.Server
+	for _, tn := range nodes {
+		if tn.id == route.Owner {
+			ownerSrv = tn.srv
+		}
+	}
+	if _, ok := ownerSrv.ResultByHash(route.Hash); !ok {
+		t.Errorf("owner %s did not cache the result", route.Owner)
+	}
+
+	res2, route2, err := nodes[1].node.Dispatch(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("re-dispatch: %v", err)
+	}
+	if route2.Owner != route.Owner {
+		t.Errorf("owner changed between coordinators: %s vs %s", route2.Owner, route.Owner)
+	}
+	if !bytes.Equal(res.Canonical(), res2.Canonical()) {
+		t.Error("same job dispatched twice returned different canonical bytes")
+	}
+}
+
+// TestPeerFillOnLocalSubmit: a job computed by its owner becomes a cache hit
+// on every other member via peer fill — no re-simulation, PeerFilled set.
+func TestPeerFillOnLocalSubmit(t *testing.T) {
+	nodes := startCluster(t, 3, nil, nil)
+	spec := specOwnedBy(t, nodes[0].node, "n3")
+
+	// Owner computes and caches it.
+	if _, _, err := nodes[2].node.Dispatch(context.Background(), spec); err != nil {
+		t.Fatalf("owner dispatch: %v", err)
+	}
+
+	// A plain local submission on n1 must be satisfied by asking the owner.
+	st, err := nodes[0].srv.Submit(spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	fin, err := nodes[0].srv.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if fin.State != server.JobDone {
+		t.Fatalf("job state %s, want done (%s)", fin.State, fin.Error)
+	}
+	if !fin.PeerFilled {
+		t.Error("job not marked peer_filled; n1 re-simulated an owned result")
+	}
+	if hits := nodes[0].node.Info().PeerFillHits; hits == 0 {
+		t.Errorf("peer_fill_hits = %d, want > 0", hits)
+	}
+	res1, _, _ := nodes[0].srv.Result(st.ID)
+	res3, _ := nodes[2].srv.ResultByHash(fin.Hash)
+	if !bytes.Equal(res1.Canonical(), res3.Canonical()) {
+		t.Error("peer-filled result differs from the owner's bytes")
+	}
+	if m := nodes[0].srv.MetricsSnapshot(); m.JobsPeerFilled == 0 {
+		t.Errorf("jobs_peer_filled = %d, want > 0", m.JobsPeerFilled)
+	}
+}
+
+// TestHedgeOnStraggler: a handicapped owner blows the fixed hedge budget, the
+// dispatch is hedged to the next replica, the replica wins, and the loser's
+// job is canceled on the straggler.
+func TestHedgeOnStraggler(t *testing.T) {
+	const handicap = 300 * time.Millisecond
+	nodes := startCluster(t, 3,
+		func(i int) server.Options {
+			opts := server.Options{Workers: 2, QueueDepth: 64, CacheEntries: 64}
+			if i == 2 {
+				opts.Handicap = handicap
+			}
+			return opts
+		},
+		func(i int) Config { return Config{HedgeAfter: 30 * time.Millisecond} },
+	)
+	spec := specOwnedBy(t, nodes[0].node, "n3")
+
+	start := time.Now()
+	res, route, err := nodes[0].node.Dispatch(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("Dispatch: %v", err)
+	}
+	if !route.Hedged || !route.HedgeWon {
+		t.Errorf("route = %+v, want hedged and hedge-won", route)
+	}
+	if route.Node == "n3" {
+		t.Errorf("straggler n3 won the race; handicap or hedging is broken")
+	}
+	if took := time.Since(start); took >= handicap {
+		t.Errorf("dispatch took %s; hedging did not mask the %s straggler", took, handicap)
+	}
+	if res.Hash != route.Hash {
+		t.Errorf("result hash %s != job hash %s", res.Hash, route.Hash)
+	}
+	info := nodes[0].node.Info()
+	if info.HedgesFired == 0 || info.HedgesWon == 0 {
+		t.Errorf("hedge counters fired=%d won=%d, want both > 0", info.HedgesFired, info.HedgesWon)
+	}
+
+	// First-answer-wins cancels the loser: n3's in-flight job must be
+	// reaped, not left simulating.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if nodes[2].srv.MetricsSnapshot().JobsCanceled > 0 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Error("straggler never canceled the losing hedge job")
+}
+
+// TestRerouteAroundDeadPeer: a SIGKILLed owner (dead listener) costs a
+// reroute, not the dispatch; its breaker opens and later dispatches avoid it
+// up front.
+func TestRerouteAroundDeadPeer(t *testing.T) {
+	nodes := startCluster(t, 3, nil,
+		func(i int) Config {
+			return Config{BreakerThreshold: 1, BreakerCooldown: time.Minute}
+		},
+	)
+	spec := specOwnedBy(t, nodes[0].node, "n3")
+	nodes[2].ts.Close() // the whole process is gone, mid-"sweep"
+
+	res, route, err := nodes[0].node.Dispatch(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("Dispatch with dead owner: %v", err)
+	}
+	if route.Node == "n3" {
+		t.Error("dead node reported as the winner")
+	}
+	if route.Reroutes == 0 {
+		t.Error("no reroute recorded for a dead owner")
+	}
+	if res == nil || res.Hash != route.Hash {
+		t.Fatalf("bad result after reroute: %+v", res)
+	}
+	if u := nodes[0].node.Info().PeersUnhealthy; u != 1 {
+		t.Errorf("peers_unhealthy = %d, want 1", u)
+	}
+
+	// Next dispatch of an n3-owned job starts on a healthy member directly.
+	spec2 := specOwnedBy(t, nodes[0].node, "n3")
+	_, route2, err := nodes[0].node.Dispatch(context.Background(), spec2)
+	if err != nil {
+		t.Fatalf("second dispatch: %v", err)
+	}
+	if route2.Node == "n3" || route2.Reroutes != 0 {
+		t.Errorf("open breaker not honored: route %+v", route2)
+	}
+}
+
+// TestClusterSweepEndpoint: the coordinator's NDJSON sweep emits every point
+// in order plus a summary, and a rerun is byte-identical (served by caches).
+func TestClusterSweepEndpoint(t *testing.T) {
+	nodes := startCluster(t, 3, nil, nil)
+	sweep := map[string]any{
+		"base": map[string]any{
+			"workload": map[string]any{"kind": "chase", "region": "16K", "max_steps": 400},
+		},
+		"parameter": "seed",
+		"values":    []string{"1", "2", "3", "4", "5", "6", "7", "8"},
+	}
+	run := func() (map[int]string, int) {
+		body, _ := json.Marshal(sweep)
+		resp, err := http.Post(nodes[0].ts.URL+"/v1/cluster/sweep", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("sweep status %d", resp.StatusCode)
+		}
+		canon := make(map[int]string)
+		completed := 0
+		wantIdx := 0
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 16<<20)
+		for sc.Scan() {
+			var line struct {
+				SweepDone *bool           `json:"sweep_done"`
+				Completed int             `json:"completed"`
+				Index     *int            `json:"index"`
+				Error     string          `json:"error"`
+				Result    json.RawMessage `json:"result"`
+			}
+			if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+				t.Fatalf("bad line %q: %v", sc.Text(), err)
+			}
+			if line.SweepDone != nil {
+				completed = line.Completed
+				break
+			}
+			if line.Index == nil || line.Error != "" {
+				t.Fatalf("point error: %s", line.Error)
+			}
+			if *line.Index != wantIdx {
+				t.Fatalf("points out of order: got %d, want %d", *line.Index, wantIdx)
+			}
+			wantIdx++
+			var compact bytes.Buffer
+			if err := json.Compact(&compact, line.Result); err != nil {
+				t.Fatal(err)
+			}
+			canon[*line.Index] = compact.String()
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return canon, completed
+	}
+
+	first, completed := run()
+	if completed != 8 || len(first) != 8 {
+		t.Fatalf("first sweep: completed=%d results=%d, want 8/8", completed, len(first))
+	}
+	second, completed := run()
+	if completed != 8 {
+		t.Fatalf("second sweep completed %d/8", completed)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Errorf("point %d changed between identical sweeps", i)
+		}
+	}
+}
+
+// TestSingleMemberCluster: with no remote peers the cluster layer degrades to
+// plain local execution — no fill hook, every dispatch local.
+func TestSingleMemberCluster(t *testing.T) {
+	srv := server.New(server.Options{Workers: 1, QueueDepth: 8, CacheEntries: 8})
+	t.Cleanup(func() { srv.Shutdown(5 * time.Second) })
+	node, err := NewNode(srv, Config{SelfID: "solo", Peers: []Peer{{ID: "solo"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, route, err := node.Dispatch(context.Background(), clusterChaseSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if route.Owner != "solo" || route.Node != "solo" || res == nil {
+		t.Errorf("route = %+v, want solo-owned local answer", route)
+	}
+	if info := node.Info(); info.DispatchLocal != 1 || info.DispatchRemote != 0 {
+		t.Errorf("dispatch counters local=%d remote=%d, want 1/0", info.DispatchLocal, info.DispatchRemote)
+	}
+}

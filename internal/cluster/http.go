@@ -1,0 +1,293 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Handler returns the node's full HTTP surface: the local nvmserved API plus
+// the cluster coordinator and peer-protocol routes.
+//
+//	POST /v1/cluster/jobs         dispatch one job through the ring (waits)
+//	POST /v1/cluster/sweep        fan a sweep across the fleet (NDJSON)
+//	GET  /v1/cluster/info         membership, peer health, cluster counters
+//	GET  /v1/peer/result/{hash}   canonical result by job hash (peer fill)
+//	POST /v1/peer/run             execute a job locally and return its result
+//
+// The peer routes are the protocol spoken between members; the cluster
+// routes are the client-facing coordinator. Every member serves both, so any
+// node can coordinate any sweep.
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/cluster/jobs", n.handleClusterJob)
+	mux.HandleFunc("POST /v1/cluster/sweep", n.handleClusterSweep)
+	mux.HandleFunc("GET /v1/cluster/info", n.handleClusterInfo)
+	mux.HandleFunc("GET /v1/peer/result/{hash}", n.handlePeerResult)
+	mux.HandleFunc("POST /v1/peer/run", n.handlePeerRun)
+	mux.Handle("/", n.local.Handler())
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	if code == http.StatusServiceUnavailable || code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+// writeCanonical sends a result as its canonical JSON bytes, so a result
+// relayed through any number of peers stays byte-identical to the origin.
+func writeCanonical(w http.ResponseWriter, res *server.Result) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(res.Canonical())
+}
+
+// dispatchResponse is the POST /v1/cluster/jobs payload.
+type dispatchResponse struct {
+	Route  Route          `json:"route"`
+	Result *server.Result `json:"result"`
+}
+
+func (n *Node) handleClusterJob(w http.ResponseWriter, r *http.Request) {
+	var spec server.JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, route, err := n.Dispatch(r.Context(), spec)
+	if err != nil {
+		writeError(w, dispatchErrorCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, dispatchResponse{Route: route, Result: res})
+}
+
+// dispatchErrorCode maps a dispatch failure onto an HTTP status.
+func dispatchErrorCode(err error) int {
+	switch {
+	case errors.Is(err, server.ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, server.ErrDraining), errors.Is(err, server.ErrBreakerOpen):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		// Compile errors read as client errors; everything else is a fleet
+		// failure. Telling them apart cheaply: compile errors never wrap the
+		// dispatch-chain sentinel.
+		if _, ok := err.(*peerError); ok {
+			return http.StatusBadGateway
+		}
+		return http.StatusBadRequest
+	}
+}
+
+// clusterSweepPoint is one NDJSON line of a fleet sweep.
+type clusterSweepPoint struct {
+	Index  int            `json:"index"`
+	Value  string         `json:"value"`
+	Route  Route          `json:"route"`
+	Result *server.Result `json:"result,omitempty"`
+	Error  string         `json:"error,omitempty"`
+}
+
+// clusterSweepSummary is the final NDJSON line of a fleet sweep.
+type clusterSweepSummary struct {
+	SweepDone bool         `json:"sweep_done"`
+	Points    int          `json:"points"`
+	Completed int          `json:"completed"`
+	Failed    int          `json:"failed"`
+	Hedged    int          `json:"hedged"`
+	Rerouted  int          `json:"rerouted"`
+	ElapsedMs float64      `json:"elapsed_ms"`
+	Cluster   InfoSnapshot `json:"cluster"`
+}
+
+// handleClusterSweep fans one parameter sweep across the fleet: every point
+// is dispatched through the ring with bounded parallelism, and the NDJSON
+// stream emits points in sweep order as soon as each completes.
+func (n *Node) handleClusterSweep(w http.ResponseWriter, r *http.Request) {
+	var sr server.SweepRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sr); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	specs, vals, err := server.ExpandSweep(sr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	ctx := r.Context()
+	start := time.Now()
+	type pointOut struct {
+		res   *server.Result
+		route Route
+		err   error
+	}
+	outs := make([]chan pointOut, len(specs))
+	sem := make(chan struct{}, n.cfg.SweepParallel)
+	for i := range specs {
+		outs[i] = make(chan pointOut, 1)
+		go func(i int) {
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				outs[i] <- pointOut{err: ctx.Err()}
+				return
+			}
+			res, route, err := n.Dispatch(ctx, specs[i])
+			outs[i] <- pointOut{res: res, route: route, err: err}
+		}(i)
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	sum := clusterSweepSummary{SweepDone: true}
+	for i := range specs {
+		o := <-outs[i]
+		pt := clusterSweepPoint{Index: i, Value: vals[i], Route: o.route, Result: o.res}
+		sum.Points++
+		if o.err != nil {
+			pt.Error = o.err.Error()
+			sum.Failed++
+		} else {
+			sum.Completed++
+		}
+		if o.route.Hedged {
+			sum.Hedged++
+		}
+		if o.route.Reroutes > 0 {
+			sum.Rerouted++
+		}
+		_ = enc.Encode(pt)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	sum.ElapsedMs = float64(time.Since(start)) / float64(time.Millisecond)
+	sum.Cluster = n.Info()
+	_ = enc.Encode(sum)
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+func (n *Node) handleClusterInfo(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, n.Info())
+}
+
+// maxPeerWait caps how long a peer fill may park on the owner's in-flight
+// computation; beyond this the requester is better off simulating.
+const maxPeerWait = 5 * time.Second
+
+// handlePeerResult serves the local result cache by canonical job hash. With
+// ?wait_ms=N it also parks (bounded) on an in-flight local computation of
+// the same hash — the owner-side single-flight that absorbs a hot sweep's
+// worth of identical fills without stampeding the scheduler.
+func (n *Node) handlePeerResult(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	if len(hash) != 64 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("cluster: malformed job hash %q", hash))
+		return
+	}
+	var wait time.Duration
+	if ms := r.URL.Query().Get("wait_ms"); ms != "" {
+		v, err := strconv.ParseInt(ms, 10, 64)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("cluster: bad wait_ms %q", ms))
+			return
+		}
+		wait = time.Duration(v) * time.Millisecond
+		if wait > maxPeerWait {
+			wait = maxPeerWait
+		}
+	}
+	var res *server.Result
+	var ok bool
+	if wait > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), wait)
+		res, ok = n.local.WaitByHash(ctx, hash)
+		cancel()
+	} else {
+		res, ok = n.local.ResultByHash(hash)
+	}
+	if !ok {
+		n.m.peerServeMiss.Add(1)
+		writeError(w, http.StatusNotFound, errors.New("result not cached here"))
+		return
+	}
+	n.m.peerServeHits.Add(1)
+	writeCanonical(w, res)
+}
+
+// handlePeerRun executes a job on this node's scheduler and returns the
+// canonical result: the receiving end of sharded and hedged dispatch. Load
+// pushback surfaces as 429/503 so the dispatcher reroutes instead of piling
+// on; a caller disconnect (hedge lost, coordinator gone) cancels the job.
+func (n *Node) handlePeerRun(w http.ResponseWriter, r *http.Request) {
+	var spec server.JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	n.m.peerRuns.Add(1)
+	// NoFill: this job was routed HERE by a dispatcher (shard owner, hedge,
+	// or reroute); consulting the fill hook would bounce it back toward the
+	// owner — the slow or dead node the dispatcher is often escaping.
+	st, err := n.local.SubmitNoFill(r.Context(), spec)
+	switch {
+	case errors.Is(err, server.ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, server.ErrDraining), errors.Is(err, server.ErrBreakerOpen):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	fin, err := n.local.Wait(r.Context(), st.ID)
+	if err != nil {
+		writeError(w, http.StatusGatewayTimeout, err)
+		return
+	}
+	switch fin.State {
+	case server.JobDone:
+		res, _, _ := n.local.Result(st.ID)
+		writeCanonical(w, res)
+	case server.JobCanceled:
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("job canceled: %s", fin.Error))
+	default:
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("job failed: %s", fin.Error))
+	}
+}

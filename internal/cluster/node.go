@@ -1,0 +1,561 @@
+// Package cluster turns nvmserved into a multi-node fleet. Every node is
+// symmetric: it owns a slice of the canonical job-hash space on a
+// consistent-hash ring, runs a local nvmserved scheduler, and speaks a small
+// HTTP peer protocol to the rest of the membership. Three mechanisms do the
+// work:
+//
+//   - Sharded dispatch: a job submitted to any node's cluster API is routed
+//     to the ring owner of its canonical hash, so repeated sweeps hit the
+//     same owner's result cache no matter which node coordinates.
+//   - Peer cache fill: a node about to simulate a job it does not own first
+//     asks the owner for the finished result (GET /v1/peer/result/{hash}),
+//     with single-flight suppression on both sides, so a result computed
+//     anywhere is a cache hit everywhere.
+//   - Hedged dispatch: when the owner exceeds a latency-percentile budget,
+//     the job is also sent to the next replica on the ring. Results are
+//     deterministic functions of the plan, so first-answer-wins is always
+//     correct; the loser is canceled.
+//
+// Peer health reuses the internal/breaker circuit breaker: transport faults
+// and 5xx responses open a peer's breaker, routing traffic around it until a
+// cooldown probe succeeds — a SIGKILLed node mid-sweep costs reroutes, not
+// the sweep.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/breaker"
+	"repro/internal/server"
+)
+
+// Config wires a Node. Zero fields take defaults.
+type Config struct {
+	// SelfID is this node's id; it must appear in Peers.
+	SelfID string
+	// Peers is the full fixed membership, self included (self's URL may be
+	// empty; it is never dialed).
+	Peers []Peer
+	// VNodes is the virtual-node count per member (default 64).
+	VNodes int
+	// HedgeAfter, when positive, is a fixed straggler budget: a dispatched
+	// job still unanswered after this long is hedged to the next replica.
+	// Zero selects the adaptive policy: 1.5x the HedgePercentile of recent
+	// remote latencies, clamped to [HedgeMin, HedgeMax].
+	HedgeAfter      time.Duration
+	HedgePercentile float64       // default 0.95
+	HedgeMin        time.Duration // default 25ms
+	HedgeMax        time.Duration // default 2s
+	// FillWait is how long a peer fill lets the owner hold the request for an
+	// in-flight computation of the same hash (default 250ms).
+	FillWait time.Duration
+	// RequestTimeout bounds one peer run end to end (default 2m; it should
+	// exceed the local job timeout so remote execution is not the tighter
+	// constraint).
+	RequestTimeout time.Duration
+	// BreakerThreshold / BreakerCooldown configure each peer's health breaker
+	// (defaults 3 consecutive failures, 3s cooldown).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// SweepParallel bounds concurrently in-flight points of one cluster
+	// sweep (default 2 x local workers x member count: enough to saturate
+	// the fleet's pools with headroom for cache hits).
+	SweepParallel int
+}
+
+func (c Config) withDefaults(workers, members int) Config {
+	if c.VNodes <= 0 {
+		c.VNodes = defaultVNodes
+	}
+	if c.HedgePercentile <= 0 || c.HedgePercentile >= 1 {
+		c.HedgePercentile = 0.95
+	}
+	if c.HedgeMin <= 0 {
+		c.HedgeMin = 25 * time.Millisecond
+	}
+	if c.HedgeMax <= 0 {
+		c.HedgeMax = 2 * time.Second
+	}
+	if c.FillWait <= 0 {
+		c.FillWait = 250 * time.Millisecond
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 2 * time.Minute
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 3 * time.Second
+	}
+	if c.SweepParallel <= 0 {
+		c.SweepParallel = 2 * workers * members
+	}
+	return c
+}
+
+// peerState is one remote member: its address and health breaker.
+type peerState struct {
+	id  string
+	url string
+	brk *breaker.Breaker
+}
+
+// Node is one cluster member. Create with NewNode; it installs the peer
+// cache-fill hook and the cluster Prometheus collector on the local server.
+type Node struct {
+	cfg    Config
+	local  *server.Server
+	ring   *Ring
+	peers  map[string]*peerState // remote members only
+	client *Client
+	fillsf *flightGroup
+	lat    *latWindow
+	m      clusterMetrics
+}
+
+// NewNode builds the cluster layer over a local scheduler. The membership in
+// cfg.Peers is fixed for the node's lifetime and must include cfg.SelfID.
+func NewNode(local *server.Server, cfg Config) (*Node, error) {
+	ids := make([]string, 0, len(cfg.Peers))
+	selfSeen := false
+	for _, p := range cfg.Peers {
+		ids = append(ids, p.ID)
+		if p.ID == cfg.SelfID {
+			selfSeen = true
+		}
+	}
+	if cfg.SelfID == "" {
+		return nil, fmt.Errorf("cluster: empty self id")
+	}
+	if !selfSeen {
+		return nil, fmt.Errorf("cluster: self id %q not in peer list", cfg.SelfID)
+	}
+	cfg = cfg.withDefaults(local.Options().Workers, len(ids))
+	ring, err := NewRing(ids, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:    cfg,
+		local:  local,
+		ring:   ring,
+		peers:  make(map[string]*peerState),
+		client: NewClient(cfg.RequestTimeout),
+		fillsf: newFlightGroup(),
+		lat:    newLatWindow(128),
+	}
+	for _, p := range cfg.Peers {
+		if p.ID == cfg.SelfID {
+			continue
+		}
+		if p.URL == "" {
+			return nil, fmt.Errorf("cluster: peer %q has no URL", p.ID)
+		}
+		n.peers[p.ID] = &peerState{
+			id:  p.ID,
+			url: p.URL,
+			brk: breaker.New(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		}
+	}
+	if len(n.peers) > 0 {
+		local.SetFill(n.fillFromPeers)
+	}
+	local.RegisterProm(n.writeProm)
+	return n, nil
+}
+
+// Local returns the node's local scheduler.
+func (n *Node) Local() *server.Server { return n.local }
+
+// Owner returns the ring owner of a canonical job hash (exported for tests
+// and tooling that want to steer jobs at specific members).
+func (n *Node) Owner(hash string) string { return n.ring.Owner(hash) }
+
+// Route describes where one dispatch went.
+type Route struct {
+	Hash string `json:"hash"`
+	// Owner is the ring owner of the hash; Node is the member whose answer
+	// won (they differ after a reroute or a hedge win).
+	Owner    string `json:"owner"`
+	Node     string `json:"node"`
+	Hedged   bool   `json:"hedged,omitempty"`
+	HedgeWon bool   `json:"hedge_won,omitempty"`
+	Reroutes int    `json:"reroutes,omitempty"`
+}
+
+// Dispatch routes one job to the ring owner of its canonical hash and waits
+// for the result, hedging to the next replica past the straggler budget and
+// rerouting around failed peers. The local node is always the candidate of
+// last resort, so a dispatch succeeds whenever the job can run at all.
+func (n *Node) Dispatch(ctx context.Context, spec server.JobSpec) (*server.Result, Route, error) {
+	p, err := spec.Compile()
+	if err != nil {
+		return nil, Route{}, err
+	}
+	hash := p.Hash()
+	order := n.ring.Order(hash)
+	route := Route{Hash: hash, Owner: order[0]}
+
+	// Candidate chain: ring order with unhealthy peers pushed behind healthy
+	// ones (still reachable as a desperation move — Ready is a snapshot, and
+	// a half-open peer may have recovered). Self is always "healthy".
+	chain := make([]string, 0, len(order))
+	var unhealthy []string
+	for _, id := range order {
+		if id == n.cfg.SelfID {
+			chain = append(chain, id)
+			continue
+		}
+		if n.peers[id].brk.Ready() {
+			chain = append(chain, id)
+		} else {
+			unhealthy = append(unhealthy, id)
+		}
+	}
+	chain = append(chain, unhealthy...)
+
+	res, winner, err := n.race(ctx, spec, chain, &route)
+	if err != nil {
+		return nil, route, err
+	}
+	route.Node = winner
+	return res, route, nil
+}
+
+// outcome is one candidate's answer in a dispatch race.
+type outcome struct {
+	res    *server.Result
+	id     string
+	err    error
+	remote bool
+	hedge  bool
+	took   time.Duration
+}
+
+// race launches candidates from chain one at a time: the next on failure,
+// plus at most one hedge launch when the straggler budget expires. First
+// successful answer wins; the shared context cancellation reaps the losers
+// (a canceled peer run cancels the remote job too, via the request context).
+func (n *Node) race(ctx context.Context, spec server.JobSpec, chain []string, route *Route) (*server.Result, string, error) {
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	resc := make(chan outcome, len(chain))
+	next := 0
+	launch := func(hedge bool) bool {
+		for next < len(chain) {
+			id := chain[next]
+			next++
+			if id == n.cfg.SelfID {
+				n.m.dispatchLocal.Add(1)
+				go func() {
+					res, err := n.runLocal(rctx, spec)
+					resc <- outcome{res: res, id: id, err: err, hedge: hedge}
+				}()
+				return true
+			}
+			ps := n.peers[id]
+			if ok, _ := ps.brk.Allow(); !ok {
+				continue // breaker slammed shut since chain ordering; skip
+			}
+			n.m.dispatchRemote.Add(1)
+			go func() {
+				start := time.Now()
+				res, err := n.client.Run(rctx, ps.url, spec)
+				resc <- outcome{res: res, id: id, err: err, remote: true,
+					hedge: hedge, took: time.Since(start)}
+			}()
+			return true
+		}
+		return false
+	}
+
+	if !launch(false) {
+		return nil, "", fmt.Errorf("cluster: no dispatch candidates")
+	}
+	outstanding := 1
+	budget := n.hedgeDelay()
+	timer := time.NewTimer(budget)
+	defer timer.Stop()
+	hedged := false
+	var lastErr error
+	for outstanding > 0 {
+		select {
+		case o := <-resc:
+			outstanding--
+			ps := n.peers[o.id]
+			if o.err == nil {
+				if o.remote {
+					ps.brk.RecordSuccess()
+					n.lat.observe(o.took)
+				}
+				if o.hedge {
+					n.m.hedgesWon.Add(1)
+					route.HedgeWon = true
+				}
+				return o.res, o.id, nil
+			}
+			if o.remote {
+				var pe *peerError
+				if errors.As(o.err, &pe) && pe.countsAgainstPeer() {
+					ps.brk.RecordFailure()
+				}
+			}
+			if rctx.Err() != nil {
+				return nil, "", ctx.Err()
+			}
+			lastErr = o.err
+			if launch(false) {
+				outstanding++
+				n.m.reroutes.Add(1)
+				route.Reroutes++
+			}
+		case <-timer.C:
+			if !hedged && launch(true) {
+				outstanding++
+				hedged = true
+				n.m.hedgesFired.Add(1)
+				route.Hedged = true
+			}
+		}
+	}
+	return nil, "", fmt.Errorf("cluster: every candidate failed, last error: %w", lastErr)
+}
+
+// runLocal executes a job on the local scheduler, absorbing queue-full
+// pushback with a short retry loop bounded by ctx. Dispatch traffic skips
+// the fill hook: when this node is not the owner it is here as a hedge or
+// reroute target, and filling would chase the very owner being avoided.
+func (n *Node) runLocal(ctx context.Context, spec server.JobSpec) (*server.Result, error) {
+	for {
+		st, err := n.local.SubmitNoFill(ctx, spec)
+		switch {
+		case err == nil:
+			fin, werr := n.local.Wait(ctx, st.ID)
+			if werr != nil {
+				return nil, werr
+			}
+			switch fin.State {
+			case server.JobDone:
+				res, _, _ := n.local.Result(st.ID)
+				return res, nil
+			case server.JobCanceled:
+				return nil, fmt.Errorf("cluster: local job canceled: %s", fin.Error)
+			default:
+				return nil, fmt.Errorf("cluster: local job failed: %s", fin.Error)
+			}
+		case errors.Is(err, server.ErrQueueFull):
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(2 * time.Millisecond):
+			}
+		default:
+			return nil, err
+		}
+	}
+}
+
+// hedgeDelay returns the current straggler budget.
+func (n *Node) hedgeDelay() time.Duration {
+	if n.cfg.HedgeAfter > 0 {
+		return n.cfg.HedgeAfter
+	}
+	p := n.lat.quantile(n.cfg.HedgePercentile)
+	if p <= 0 {
+		// No signal yet: start permissive so cold-start latencies (process
+		// spawn, first-job JIT of the page pools) don't trigger false hedges.
+		return n.cfg.HedgeMax
+	}
+	d := p + p/2
+	if d < n.cfg.HedgeMin {
+		d = n.cfg.HedgeMin
+	}
+	if d > n.cfg.HedgeMax {
+		d = n.cfg.HedgeMax
+	}
+	return d
+}
+
+// fillFromPeers is the server.FillFunc installed on the local scheduler: a
+// local cache miss for a hash someone else owns asks the owner (then the
+// first replica) for the finished result before simulating. Requester-side
+// single-flight collapses concurrent misses on one hash into one GET.
+func (n *Node) fillFromPeers(ctx context.Context, hash string) (*server.Result, bool) {
+	if len(n.peers) == 0 {
+		return nil, false
+	}
+	order := n.ring.Order(hash)
+	if order[0] == n.cfg.SelfID {
+		// We are the owner: computing it here is the cluster working as
+		// designed, not a fill opportunity.
+		return nil, false
+	}
+	res, ok, shared := n.fillsf.Do(hash, func() (*server.Result, bool) {
+		targets := 0
+		for _, id := range order {
+			if id == n.cfg.SelfID {
+				continue
+			}
+			if targets++; targets > 2 {
+				break // owner and first replica only; after that, simulate
+			}
+			ps := n.peers[id]
+			if !ps.brk.Ready() {
+				continue
+			}
+			fctx, fcancel := context.WithTimeout(ctx, n.cfg.FillWait+2*time.Second)
+			res, ok, err := n.client.FetchResult(fctx, ps.url, hash, n.cfg.FillWait)
+			fcancel()
+			if err != nil {
+				n.m.peerFillErrors.Add(1)
+				var pe *peerError
+				if errors.As(err, &pe) && pe.countsAgainstPeer() {
+					ps.brk.RecordFailure()
+				}
+				continue
+			}
+			ps.brk.RecordSuccess()
+			if ok {
+				n.m.peerFillHits.Add(1)
+				return res, true
+			}
+			n.m.peerFillMisses.Add(1)
+		}
+		return nil, false
+	})
+	if shared {
+		n.m.peerFillShared.Add(1)
+	}
+	return res, ok
+}
+
+// clusterMetrics are the cluster-layer counters, exported via
+// /v1/cluster/info and merged into /v1/metrics/prom.
+type clusterMetrics struct {
+	dispatchLocal  atomic.Uint64
+	dispatchRemote atomic.Uint64
+	hedgesFired    atomic.Uint64
+	hedgesWon      atomic.Uint64
+	reroutes       atomic.Uint64
+	peerFillHits   atomic.Uint64
+	peerFillMisses atomic.Uint64
+	peerFillErrors atomic.Uint64
+	peerFillShared atomic.Uint64
+	peerServeHits  atomic.Uint64
+	peerServeMiss  atomic.Uint64
+	peerRuns       atomic.Uint64
+}
+
+// PeerInfo is one member's health view in InfoSnapshot.
+type PeerInfo struct {
+	ID           string `json:"id"`
+	URL          string `json:"url,omitempty"`
+	Breaker      string `json:"breaker"`
+	BreakerOpens uint64 `json:"breaker_opens,omitempty"`
+}
+
+// InfoSnapshot is the JSON shape of GET /v1/cluster/info.
+type InfoSnapshot struct {
+	Self           string     `json:"self"`
+	VNodes         int        `json:"vnodes"`
+	Peers          []PeerInfo `json:"peers"`
+	PeersUnhealthy int        `json:"peers_unhealthy"`
+	HedgeBudgetMs  float64    `json:"hedge_budget_ms"`
+	DispatchLocal  uint64     `json:"dispatch_local"`
+	DispatchRemote uint64     `json:"dispatch_remote"`
+	HedgesFired    uint64     `json:"hedges_fired"`
+	HedgesWon      uint64     `json:"hedges_won"`
+	Reroutes       uint64     `json:"reroutes"`
+	PeerFillHits   uint64     `json:"peer_fill_hits"`
+	PeerFillMisses uint64     `json:"peer_fill_misses"`
+	PeerFillErrors uint64     `json:"peer_fill_errors"`
+	PeerFillShared uint64     `json:"peer_fill_shared"`
+	PeerServeHits  uint64     `json:"peer_serve_hits"`
+	PeerServeMiss  uint64     `json:"peer_serve_misses"`
+	PeerRuns       uint64     `json:"peer_runs"`
+}
+
+// Info snapshots the cluster state and counters.
+func (n *Node) Info() InfoSnapshot {
+	s := InfoSnapshot{
+		Self:           n.cfg.SelfID,
+		VNodes:         n.cfg.VNodes,
+		HedgeBudgetMs:  float64(n.hedgeDelay()) / float64(time.Millisecond),
+		DispatchLocal:  n.m.dispatchLocal.Load(),
+		DispatchRemote: n.m.dispatchRemote.Load(),
+		HedgesFired:    n.m.hedgesFired.Load(),
+		HedgesWon:      n.m.hedgesWon.Load(),
+		Reroutes:       n.m.reroutes.Load(),
+		PeerFillHits:   n.m.peerFillHits.Load(),
+		PeerFillMisses: n.m.peerFillMisses.Load(),
+		PeerFillErrors: n.m.peerFillErrors.Load(),
+		PeerFillShared: n.m.peerFillShared.Load(),
+		PeerServeHits:  n.m.peerServeHits.Load(),
+		PeerServeMiss:  n.m.peerServeMiss.Load(),
+		PeerRuns:       n.m.peerRuns.Load(),
+	}
+	ids := make([]string, 0, len(n.peers))
+	for id := range n.peers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		ps := n.peers[id]
+		state, _, opens := ps.brk.Snapshot()
+		s.Peers = append(s.Peers, PeerInfo{ID: id, URL: ps.url, Breaker: state, BreakerOpens: opens})
+		if state == breaker.Open {
+			s.PeersUnhealthy++
+		}
+	}
+	return s
+}
+
+// latWindow is a bounded sliding window of recent remote dispatch latencies
+// feeding the adaptive hedge budget.
+type latWindow struct {
+	mu   sync.Mutex
+	buf  []time.Duration
+	next int
+	n    int
+}
+
+// latMinSamples is how many observations the adaptive policy wants before
+// trusting its percentile estimate.
+const latMinSamples = 8
+
+func newLatWindow(size int) *latWindow {
+	return &latWindow{buf: make([]time.Duration, size)}
+}
+
+func (w *latWindow) observe(d time.Duration) {
+	w.mu.Lock()
+	w.buf[w.next] = d
+	w.next = (w.next + 1) % len(w.buf)
+	if w.n < len(w.buf) {
+		w.n++
+	}
+	w.mu.Unlock()
+}
+
+// quantile returns the q-quantile of the window, or 0 while under-sampled.
+func (w *latWindow) quantile(q float64) time.Duration {
+	w.mu.Lock()
+	if w.n < latMinSamples {
+		w.mu.Unlock()
+		return 0
+	}
+	tmp := make([]time.Duration, w.n)
+	copy(tmp, w.buf[:w.n])
+	w.mu.Unlock()
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	idx := int(q * float64(len(tmp)-1))
+	return tmp[idx]
+}

@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Peer names one cluster member: a stable node id (the ring key) and the
+// base URL its API listens on. The self entry's URL may be empty.
+type Peer struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
+// Client is the HTTP client side of the peer protocol. One Client is shared
+// by a node for all peers; the transport keeps per-host connection pools.
+type Client struct {
+	http *http.Client
+}
+
+// NewClient returns a peer client. timeout bounds whole requests including
+// the remote job execution; dial/TLS setup gets a tighter bound so a dead
+// peer fails fast instead of consuming the whole request budget.
+func NewClient(timeout time.Duration) *Client {
+	return &Client{http: &http.Client{
+		Timeout: timeout,
+		Transport: &http.Transport{
+			DialContext:         (&net.Dialer{Timeout: 2 * time.Second}).DialContext,
+			MaxIdleConnsPerHost: 16,
+			IdleConnTimeout:     30 * time.Second,
+		},
+	}}
+}
+
+// peerError classifies a failed peer call so the dispatcher can decide
+// whether to charge the peer's breaker (transport faults and 5xx responses)
+// or just route around momentary pushback (429/503 load shedding).
+type peerError struct {
+	status    int // 0 for transport errors
+	transport bool
+	msg       string
+}
+
+func (e *peerError) Error() string {
+	if e.transport {
+		return "peer transport: " + e.msg
+	}
+	return fmt.Sprintf("peer status %d: %s", e.status, e.msg)
+}
+
+// countsAgainstPeer reports whether the failure indicates peer ill-health.
+func (e *peerError) countsAgainstPeer() bool {
+	return e.transport || e.status >= 500
+}
+
+// FetchResult asks baseURL for the cached result of a canonical job hash
+// (GET /v1/peer/result/{hash}). wait > 0 lets the owner hold the request for
+// an in-flight computation of the same hash. ok=false with nil error is a
+// clean miss (the owner simply has not computed it).
+func (c *Client) FetchResult(ctx context.Context, baseURL, hash string, wait time.Duration) (*server.Result, bool, error) {
+	url := baseURL + "/v1/peer/result/" + hash
+	if wait > 0 {
+		url += "?wait_ms=" + strconv.FormatInt(wait.Milliseconds(), 10)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, false, &peerError{transport: true, msg: err.Error()}
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		res, err := decodeResult(resp.Body, hash)
+		if err != nil {
+			return nil, false, err
+		}
+		return res, true, nil
+	case http.StatusNotFound:
+		io.Copy(io.Discard, resp.Body)
+		return nil, false, nil
+	default:
+		return nil, false, readPeerError(resp)
+	}
+}
+
+// Run executes a job on baseURL and waits for its result
+// (POST /v1/peer/run). The body is the canonical result JSON, so results
+// forwarded through any number of peers stay byte-identical.
+func (c *Client) Run(ctx context.Context, baseURL string, spec server.JobSpec) (*server.Result, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		baseURL+"/v1/peer/run", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, &peerError{transport: true, msg: err.Error()}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, readPeerError(resp)
+	}
+	return decodeResult(resp.Body, "")
+}
+
+// Health probes baseURL's /v1/healthz, returning the raw status code (a 503
+// from a draining or degraded node is a valid, readable answer).
+func (c *Client) Health(ctx context.Context, baseURL string) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/healthz", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return 0, &peerError{transport: true, msg: err.Error()}
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+// decodeResult parses a canonical result body, verifying the hash when the
+// caller knows which job it asked for (integrity check on peer fills).
+func decodeResult(r io.Reader, wantHash string) (*server.Result, error) {
+	var res server.Result
+	if err := json.NewDecoder(io.LimitReader(r, maxResultBytes)).Decode(&res); err != nil {
+		return nil, fmt.Errorf("cluster: decoding peer result: %v", err)
+	}
+	if wantHash != "" && res.Hash != wantHash {
+		return nil, fmt.Errorf("cluster: peer returned result for hash %.12s, want %.12s", res.Hash, wantHash)
+	}
+	return &res, nil
+}
+
+// maxResultBytes bounds a peer result body; canonical results with full obs
+// dumps run tens of KB, so 16MB is generous without being unbounded.
+const maxResultBytes = 16 << 20
+
+// readPeerError turns a non-OK peer response into a peerError, salvaging the
+// JSON error message when present.
+func readPeerError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	msg := string(bytes.TrimSpace(body))
+	var eb struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
+		msg = eb.Error
+	}
+	return &peerError{status: resp.StatusCode, msg: msg}
+}

@@ -1,0 +1,50 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/breaker"
+)
+
+// writeProm renders the cluster counters in Prometheus text format. It is
+// registered on the local server so /v1/metrics/prom stays the node's single
+// scrape target.
+func (n *Node) writeProm(w io.Writer) error {
+	s := n.Info()
+	var b strings.Builder
+
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("nvmcluster_dispatch_local_total", "Dispatches answered by the local scheduler.", s.DispatchLocal)
+	counter("nvmcluster_dispatch_remote_total", "Dispatches sent to a remote peer.", s.DispatchRemote)
+	counter("nvmcluster_hedges_fired_total", "Straggler dispatches hedged to a second replica.", s.HedgesFired)
+	counter("nvmcluster_hedges_won_total", "Hedged dispatches where the hedge answered first.", s.HedgesWon)
+	counter("nvmcluster_reroutes_total", "Dispatches rerouted after a candidate failed.", s.Reroutes)
+	counter("nvmcluster_peer_fill_hits_total", "Local jobs satisfied by a peer cache fetch.", s.PeerFillHits)
+	counter("nvmcluster_peer_fill_misses_total", "Peer cache fetches that found nothing.", s.PeerFillMisses)
+	counter("nvmcluster_peer_fill_errors_total", "Peer cache fetches that failed.", s.PeerFillErrors)
+	counter("nvmcluster_peer_fill_shared_total", "Peer cache fetches deduplicated by single-flight.", s.PeerFillShared)
+	counter("nvmcluster_peer_serve_hits_total", "Peer result requests served from the local cache.", s.PeerServeHits)
+	counter("nvmcluster_peer_serve_misses_total", "Peer result requests that missed.", s.PeerServeMiss)
+	counter("nvmcluster_peer_runs_total", "Jobs executed here on behalf of a remote dispatcher.", s.PeerRuns)
+
+	fmt.Fprintf(&b, "# HELP nvmcluster_peers_unhealthy Peers whose health breaker is currently open.\n# TYPE nvmcluster_peers_unhealthy gauge\nnvmcluster_peers_unhealthy %d\n", s.PeersUnhealthy)
+	fmt.Fprintf(&b, "# HELP nvmcluster_hedge_budget_seconds Current straggler budget before a dispatch is hedged.\n# TYPE nvmcluster_hedge_budget_seconds gauge\nnvmcluster_hedge_budget_seconds %g\n", s.HedgeBudgetMs/1e3)
+
+	fmt.Fprintf(&b, "# HELP nvmcluster_peer_breaker_state Peer health breaker state (one-hot per peer and state).\n# TYPE nvmcluster_peer_breaker_state gauge\n")
+	for _, p := range s.Peers {
+		for _, state := range []string{breaker.Closed, breaker.Open, breaker.HalfOpen} {
+			v := 0
+			if p.Breaker == state {
+				v = 1
+			}
+			fmt.Fprintf(&b, "nvmcluster_peer_breaker_state{peer=%q,state=%q} %d\n", p.ID, state, v)
+		}
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,48 @@
+package cluster
+
+import (
+	"sync"
+
+	"repro/internal/server"
+)
+
+// flightGroup deduplicates concurrent peer-cache fetches for the same job
+// hash: the first caller executes the fetch, every concurrent duplicate
+// parks on it and shares the answer. Combined with the owner-side wait on
+// in-flight jobs (server.WaitByHash) this keeps a hot sweep from stampeding
+// the owning node with one GET per local miss.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	res  *server.Result
+	ok   bool
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flightCall)}
+}
+
+// Do executes fn for key, or waits for an identical in-flight call and
+// shares its answer. shared reports whether this caller piggybacked.
+func (g *flightGroup) Do(key string, fn func() (*server.Result, bool)) (res *server.Result, ok, shared bool) {
+	g.mu.Lock()
+	if c, dup := g.m[key]; dup {
+		g.mu.Unlock()
+		<-c.done
+		return c.res, c.ok, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.res, c.ok = fn()
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.res, c.ok, false
+}

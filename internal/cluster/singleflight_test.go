@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// TestFlightGroupDedup: concurrent Do calls for one key run the fetch once
+// and share the answer.
+func TestFlightGroupDedup(t *testing.T) {
+	g := newFlightGroup()
+	const callers = 8
+	gate := make(chan struct{})
+	var calls atomic.Int32
+	want := &server.Result{Hash: "h"}
+
+	var started, finished sync.WaitGroup
+	started.Add(callers)
+	finished.Add(callers)
+	var sharedCount atomic.Int32
+	for i := 0; i < callers; i++ {
+		go func() {
+			defer finished.Done()
+			started.Done()
+			res, ok, shared := g.Do("k", func() (*server.Result, bool) {
+				calls.Add(1)
+				<-gate
+				return want, true
+			})
+			if !ok || res != want {
+				t.Errorf("Do = (%v, %v), want (%p, true)", res, ok, want)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+		}()
+	}
+	started.Wait()
+	// Everyone has reached Do (or is one scheduler step away); the flight
+	// cannot complete until the gate opens, so all callers join it.
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	finished.Wait()
+
+	if n := calls.Load(); n != 1 {
+		t.Errorf("fetch ran %d times, want 1", n)
+	}
+	if n := sharedCount.Load(); n != callers-1 {
+		t.Errorf("%d callers shared, want %d", n, callers-1)
+	}
+}
+
+// TestFlightGroupKeysIndependent: different keys do not serialize on each
+// other, and a finished flight does not satisfy later calls (no caching).
+func TestFlightGroupKeysIndependent(t *testing.T) {
+	g := newFlightGroup()
+	var calls atomic.Int32
+	fn := func() (*server.Result, bool) {
+		calls.Add(1)
+		return nil, false
+	}
+	var wg sync.WaitGroup
+	for _, key := range []string{"a", "b"} {
+		wg.Add(1)
+		go func(k string) {
+			defer wg.Done()
+			if _, ok, _ := g.Do(k, fn); ok {
+				t.Errorf("Do(%s) ok = true, want false", k)
+			}
+		}(key)
+	}
+	wg.Wait()
+	if n := calls.Load(); n != 2 {
+		t.Errorf("fetch ran %d times for 2 keys, want 2", n)
+	}
+	// Sequential re-ask for a completed key runs the fetch again.
+	g.Do("a", fn)
+	if n := calls.Load(); n != 3 {
+		t.Errorf("fetch ran %d times after re-ask, want 3", n)
+	}
+}

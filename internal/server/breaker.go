@@ -1,100 +1,23 @@
 package server
 
 import (
-	"sync"
 	"time"
+
+	"repro/internal/breaker"
 )
 
-// Breaker states.
+// Breaker states, re-exported from internal/breaker for API compatibility.
+// The same breaker implementation guards the engine here and tracks remote
+// peer health in internal/cluster.
 const (
-	BreakerClosed   = "closed"
-	BreakerOpen     = "open"
-	BreakerHalfOpen = "half-open"
+	BreakerClosed   = breaker.Closed
+	BreakerOpen     = breaker.Open
+	BreakerHalfOpen = breaker.HalfOpen
 )
 
-// breaker is a consecutive-failure circuit breaker guarding the engine: when
-// threshold engine failures (panics, faulted runs) occur in a row with no
-// intervening success, the breaker opens and submissions are shed at the door
-// until a cooldown passes. The first submission after the cooldown is
-// admitted as a single probe (half-open); its outcome closes or re-opens the
-// circuit. State is surfaced on /v1/healthz.
-type breaker struct {
-	mu        sync.Mutex
-	threshold int
-	cooldown  time.Duration
-
-	state       string
-	consecutive int
-	openedAt    time.Time
-	probing     bool
-	opens       uint64
-}
-
-func newBreaker(threshold int, cooldown time.Duration) *breaker {
-	return &breaker{threshold: threshold, cooldown: cooldown, state: BreakerClosed}
-}
-
-// allow reports whether a new job may enter, and the suggested retry-after
-// duration when it may not.
-func (b *breaker) allow() (bool, time.Duration) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.threshold < 0 {
-		return true, 0 // breaker disabled
-	}
-	switch b.state {
-	case BreakerClosed:
-		return true, 0
-	case BreakerOpen:
-		if wait := b.cooldown - time.Since(b.openedAt); wait > 0 {
-			return false, wait
-		}
-		// Cooldown elapsed: admit exactly one probe.
-		b.state = BreakerHalfOpen
-		b.probing = true
-		return true, 0
-	default: // half-open
-		if b.probing {
-			return false, b.cooldown
-		}
-		b.probing = true
-		return true, 0
-	}
-}
-
-// recordSuccess notes a completed job; any success closes the circuit.
-func (b *breaker) recordSuccess() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.state = BreakerClosed
-	b.consecutive = 0
-	b.probing = false
-}
-
-// recordFailure notes an engine failure; threshold consecutive failures (or
-// a failed half-open probe) open the circuit.
-func (b *breaker) recordFailure() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.threshold < 0 {
-		return
-	}
-	b.consecutive++
-	if b.state == BreakerHalfOpen || b.consecutive >= b.threshold {
-		if b.state != BreakerOpen {
-			b.opens++
-		}
-		b.state = BreakerOpen
-		b.openedAt = time.Now()
-		b.probing = false
-	}
-}
-
-// snapshot returns (state, consecutive failures, times opened).
-func (b *breaker) snapshot() (string, int, uint64) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	// Present the post-cooldown open state as half-open-eligible only once a
-	// probe is actually admitted; reporting stays simple and truthful.
-	return b.state, b.consecutive, b.opens
+// newBreaker returns the engine circuit breaker: threshold consecutive
+// engine failures (panics, faulted runs) open it and submissions are shed at
+// the door until a cooldown passes. State is surfaced on /v1/healthz.
+func newBreaker(threshold int, cooldown time.Duration) *breaker.Breaker {
+	return breaker.New(threshold, cooldown)
 }

@@ -68,3 +68,6 @@ func (c *resultCache) Len() int {
 	defer c.mu.Unlock()
 	return c.ll.Len()
 }
+
+// Cap returns the configured capacity (0 when caching is disabled).
+func (c *resultCache) Cap() int { return c.cap }

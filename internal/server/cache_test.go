@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 )
 
@@ -49,6 +50,76 @@ func TestCacheDisabled(t *testing.T) {
 	}
 	if c.Len() != 0 {
 		t.Errorf("Len = %d, want 0", c.Len())
+	}
+}
+
+// TestCacheEvictionOrder walks a longer access pattern and checks the exact
+// eviction sequence: Get and Put both promote, so the victim is always the
+// entry untouched the longest.
+func TestCacheEvictionOrder(t *testing.T) {
+	c := newResultCache(3)
+	for _, k := range []string{"a", "b", "c"} {
+		c.Put(k, &Result{Hash: k})
+	}
+	// Recency (old -> new): a b c. Touch a, then overwrite b: a and b are
+	// now newer than c.
+	c.Get("a")
+	c.Put("b", &Result{Hash: "b2"})
+	c.Put("d", &Result{Hash: "d"}) // evicts c
+	if _, ok := c.Get("c"); ok {
+		t.Fatal("c survived; victim should be the least recently touched")
+	}
+	// Recency: a b d. Insert two more; a then b must fall, d must stay.
+	c.Put("e", &Result{Hash: "e"}) // evicts a
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a survived past its eviction turn")
+	}
+	c.Put("f", &Result{Hash: "f"}) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived past its eviction turn")
+	}
+	for _, k := range []string{"d", "e", "f"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s missing from final set", k)
+		}
+	}
+}
+
+// TestCacheConcurrent hammers one small cache from many goroutines with
+// overlapping keys. Run under -race (make ci does); the assertions check the
+// cache never hands back a value for the wrong key and never exceeds its
+// capacity.
+func TestCacheConcurrent(t *testing.T) {
+	const (
+		workers = 8
+		keys    = 32
+		rounds  = 400
+	)
+	c := newResultCache(8)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				k := fmt.Sprint((i*7 + w*13) % keys)
+				if i%3 == 0 {
+					c.Put(k, &Result{Hash: k})
+					continue
+				}
+				if res, ok := c.Get(k); ok && res.Hash != k {
+					t.Errorf("Get(%s) returned result for %s", k, res.Hash)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := c.Len(); n > 8 {
+		t.Errorf("Len = %d, exceeds capacity 8", n)
+	}
+	if cp := c.Cap(); cp != 8 {
+		t.Errorf("Cap = %d, want 8", cp)
 	}
 }
 

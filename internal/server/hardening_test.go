@@ -170,37 +170,8 @@ func TestBreakerTripsAndRecovers(t *testing.T) {
 	r2.Body.Close()
 }
 
-// TestBreakerHalfOpenAdmitsOneProbe pins the state machine itself: while a
-// probe is in flight, further submissions are shed; a failed probe re-opens
-// the circuit.
-func TestBreakerHalfOpenAdmitsOneProbe(t *testing.T) {
-	b := newBreaker(1, time.Hour)
-	b.recordFailure()
-	if ok, wait := b.allow(); ok || wait <= 0 {
-		t.Fatalf("open breaker allowed a submission (wait %v)", wait)
-	}
-
-	b = newBreaker(1, 0) // cooldown elapses immediately
-	b.recordFailure()
-	if ok, _ := b.allow(); !ok {
-		t.Fatal("post-cooldown breaker refused the probe")
-	}
-	if ok, _ := b.allow(); ok {
-		t.Fatal("half-open breaker admitted a second concurrent probe")
-	}
-	b.recordFailure()
-	if state, _, opens := b.snapshot(); state != BreakerOpen || opens != 2 {
-		t.Fatalf("failed probe: state %q opens %d, want open 2", state, opens)
-	}
-
-	disabled := newBreaker(-1, time.Hour)
-	for i := 0; i < 10; i++ {
-		disabled.recordFailure()
-	}
-	if ok, _ := disabled.allow(); !ok {
-		t.Fatal("disabled breaker shed a submission")
-	}
-}
+// The breaker state-machine unit test lives in internal/breaker, where the
+// implementation moved when the cluster layer started sharing it.
 
 // TestPowerFailJobReturnsCrashReport runs a power-fail job end to end through
 // the service: the result carries a consistent crash report instead of

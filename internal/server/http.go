@@ -118,15 +118,34 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// One probe carries everything an admission decision needs: liveness,
+	// drain/breaker state, queue pressure, and cache residency — plus the
+	// node identity and resolved listen address so cluster tooling can
+	// discover ports when the daemon was started with -addr :0.
 	type health struct {
 		Status          string `json:"status"`
+		NodeID          string `json:"node_id,omitempty"`
+		Addr            string `json:"addr,omitempty"`
 		Draining        bool   `json:"draining"`
 		Breaker         string `json:"breaker"`
 		BreakerFailures int    `json:"breaker_failures,omitempty"`
 		BreakerOpens    uint64 `json:"breaker_opens,omitempty"`
+		Workers         int    `json:"workers"`
+		WorkersBusy     int    `json:"workers_busy"`
+		QueueDepth      int    `json:"queue_depth"`
+		QueueCapacity   int    `json:"queue_capacity"`
+		CacheEntries    int    `json:"cache_entries"`
+		CacheCapacity   int    `json:"cache_capacity"`
 	}
 	h := health{Status: "ok", Draining: s.Draining()}
+	h.NodeID, h.Addr = s.Identity()
 	h.Breaker, h.BreakerFailures, h.BreakerOpens = s.BreakerState()
+	h.Workers = s.opts.Workers
+	h.WorkersBusy = int(s.busy.Load())
+	h.QueueDepth = len(s.queue)
+	h.QueueCapacity = s.opts.QueueDepth
+	h.CacheEntries = s.cache.Len()
+	h.CacheCapacity = s.cache.Cap()
 	code := http.StatusOK
 	switch {
 	case h.Draining:

@@ -23,6 +23,7 @@ type Metrics struct {
 	rejectedBreaker  uint64
 	retries          uint64
 	panics           uint64
+	peerFilled       uint64
 	workersReplaced  uint64
 	cacheHits        uint64
 	cacheMisses      uint64
@@ -73,6 +74,7 @@ func (m *Metrics) rejectFull()     { m.add(&m.rejectedFull) }
 func (m *Metrics) rejectDraining() { m.add(&m.rejectedDraining) }
 func (m *Metrics) rejectBreaker()  { m.add(&m.rejectedBreaker) }
 func (m *Metrics) cacheMiss()      { m.add(&m.cacheMisses) }
+func (m *Metrics) jobPeerFilled()  { m.add(&m.peerFilled) }
 
 // cacheHit records a submission served entirely from the cache.
 func (m *Metrics) cacheHit() {
@@ -152,6 +154,7 @@ type MetricsSnapshot struct {
 	RejectedBreaker   uint64      `json:"rejected_breaker"`
 	JobRetries        uint64      `json:"job_retries"`
 	JobPanics         uint64      `json:"job_panics"`
+	JobsPeerFilled    uint64      `json:"jobs_peer_filled"`
 	WorkersReplaced   uint64      `json:"workers_replaced"`
 	BreakerState      string      `json:"breaker_state"`
 	BreakerOpens      uint64      `json:"breaker_opens"`
@@ -184,6 +187,7 @@ func (m *Metrics) snapshot(workers, workersBusy, queueDepth, queueCap, cacheLen 
 		RejectedBreaker:   m.rejectedBreaker,
 		JobRetries:        m.retries,
 		JobPanics:         m.panics,
+		JobsPeerFilled:    m.peerFilled,
 		WorkersReplaced:   m.workersReplaced,
 		CacheHits:         m.cacheHits,
 		CacheMisses:       m.cacheMisses,

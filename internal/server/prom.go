@@ -9,10 +9,21 @@ import (
 	"repro/internal/obs"
 )
 
+// RegisterProm appends an extra collector rendered at the end of every
+// /v1/metrics/prom exposition. The cluster layer uses this to merge its
+// dispatch/hedge/peer counters into the node's single scrape target.
+// Register before serving traffic.
+func (s *Server) RegisterProm(fn func(io.Writer) error) {
+	s.mu.Lock()
+	s.extraProm = append(s.extraProm, fn)
+	s.mu.Unlock()
+}
+
 // WritePrometheus renders the service metrics in Prometheus text exposition
 // format (version 0.0.4): service counters and gauges, the job wall-latency
-// histogram, and one histogram family per merged simulator stage-latency
-// distribution (labelled by stage name, e.g. stage="dimm0/media/read_ns").
+// histogram, one histogram family per merged simulator stage-latency
+// distribution (labelled by stage name, e.g. stage="dimm0/media/read_ns"),
+// and any collectors added with RegisterProm.
 func (s *Server) WritePrometheus(w io.Writer) error {
 	snap := s.MetricsSnapshot()
 	var b strings.Builder
@@ -42,6 +53,7 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 	counter("nvmserved_rejected_draining_total", "Submissions rejected during drain.", snap.RejectedDraining)
 	counter("nvmserved_rejected_breaker_total", "Submissions rejected by the open circuit breaker.", snap.RejectedBreaker)
 	counter("nvmserved_job_retries_total", "Retry attempts after transient faults.", snap.JobRetries)
+	counter("nvmserved_jobs_peer_filled_total", "Jobs satisfied by a peer cache fill instead of a local run.", snap.JobsPeerFilled)
 	counter("nvmserved_job_panics_total", "Jobs that panicked.", snap.JobPanics)
 	counter("nvmserved_workers_replaced_total", "Worker goroutines replaced after a panic.", snap.WorkersReplaced)
 	counter("nvmserved_breaker_opens_total", "Times the circuit breaker opened.", snap.BreakerOpens)
@@ -80,8 +92,18 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 		}
 	}
 
-	_, err := io.WriteString(w, b.String())
-	return err
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	extras := append([]func(io.Writer) error(nil), s.extraProm...)
+	s.mu.Unlock()
+	for _, fn := range extras {
+		if err := fn(w); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // writePromHistogram renders one histogram series. scale converts recorded

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"runtime"
 	"runtime/debug"
@@ -11,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/breaker"
 	"repro/internal/fault"
 )
 
@@ -48,22 +50,31 @@ type Job struct {
 	state     JobState
 	err       string
 	cached    bool
+	peer      bool // satisfied by a peer cache fill, not a local run
+	noFill    bool // dispatch traffic: never consult the fill hook
 	result    *Result
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
 	done      chan struct{}
+	// ctx, when non-nil, cancels the job if the submitter goes away while it
+	// is still queued or running (sweep clients disconnecting mid-stream,
+	// hedged cluster dispatches losing the race).
+	ctx context.Context
 }
 
 // JobStatus is the JSON view of a job's lifecycle.
 type JobStatus struct {
-	ID       string   `json:"id"`
-	Hash     string   `json:"hash"`
-	State    JobState `json:"state"`
-	Cached   bool     `json:"cached,omitempty"`
-	Error    string   `json:"error,omitempty"`
-	QueuedMs float64  `json:"queued_ms"`
-	RunMs    float64  `json:"run_ms"`
+	ID     string   `json:"id"`
+	Hash   string   `json:"hash"`
+	State  JobState `json:"state"`
+	Cached bool     `json:"cached,omitempty"`
+	// PeerFilled marks a job whose result was fetched from the owning
+	// cluster peer's cache instead of being simulated locally.
+	PeerFilled bool    `json:"peer_filled,omitempty"`
+	Error      string  `json:"error,omitempty"`
+	QueuedMs   float64 `json:"queued_ms"`
+	RunMs      float64 `json:"run_ms"`
 }
 
 // Options configures a Server. Zero fields take defaults.
@@ -92,6 +103,11 @@ type Options struct {
 	// BreakerCooldown is how long the breaker stays open before admitting a
 	// probe (default 5s).
 	BreakerCooldown time.Duration
+	// Handicap adds an artificial wall-clock delay before every locally
+	// simulated job (peer fills are not delayed). It exists to stand in for a
+	// slow or overloaded node in cluster hedging demos and tests; results are
+	// unaffected because they carry no wall-clock quantities. Default 0.
+	Handicap time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -144,7 +160,7 @@ type Server struct {
 	opts    Options
 	metrics *Metrics
 	cache   *resultCache
-	brk     *breaker
+	brk     *breaker.Breaker
 
 	queue     chan *Job
 	wg        sync.WaitGroup
@@ -152,10 +168,45 @@ type Server struct {
 	runCancel context.CancelFunc
 	busy      atomic.Int32
 
-	mu       sync.Mutex
-	jobs     map[string]*Job
-	nextID   uint64
-	draining bool
+	mu        sync.Mutex
+	jobs      map[string]*Job
+	inflight  map[string]*Job // hash -> first active (queued/running) job
+	nextID    uint64
+	draining  bool
+	fill      FillFunc
+	nodeID    string
+	addr      string
+	extraProm []func(io.Writer) error
+}
+
+// FillFunc tries to satisfy a job from somewhere cheaper than simulating —
+// in a cluster, from the owning peer's result cache. It must be fast (bounded
+// by its own timeout well under the job timeout) and return ok=false on any
+// miss or error; the job then simulates locally as usual.
+type FillFunc func(ctx context.Context, hash string) (*Result, bool)
+
+// SetFill installs the cache-fill hook. Install before serving traffic.
+func (s *Server) SetFill(f FillFunc) {
+	s.mu.Lock()
+	s.fill = f
+	s.mu.Unlock()
+}
+
+// SetIdentity records the node id and resolved listen address surfaced on
+// /v1/healthz so peers and load generators can discover both from one probe.
+func (s *Server) SetIdentity(nodeID, addr string) {
+	s.mu.Lock()
+	s.nodeID = nodeID
+	s.addr = addr
+	s.mu.Unlock()
+}
+
+// Identity returns the node id and resolved listen address (may be empty
+// outside cluster mode).
+func (s *Server) Identity() (nodeID, addr string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nodeID, s.addr
 }
 
 // New starts a Server with opts.
@@ -171,6 +222,7 @@ func New(opts Options) *Server {
 		runCtx:    ctx,
 		runCancel: cancel,
 		jobs:      make(map[string]*Job),
+		inflight:  make(map[string]*Job),
 	}
 	s.wg.Add(opts.Workers)
 	for i := 0; i < opts.Workers; i++ {
@@ -186,11 +238,33 @@ func (s *Server) Options() Options { return s.opts }
 // in the result cache completes immediately without queueing. The returned
 // status is a snapshot; poll with Status or block with Wait.
 func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
+	return s.SubmitCtx(context.Background(), spec)
+}
+
+// SubmitCtx is Submit with a submitter context: if ctx is canceled while the
+// job is still queued or running, the job is canceled too (and counts toward
+// the jobs_canceled metric). Terminal jobs are unaffected. Sweeps use this so
+// a client disconnecting mid-stream does not leave the pool grinding through
+// orphaned points.
+func (s *Server) SubmitCtx(ctx context.Context, spec JobSpec) (JobStatus, error) {
+	return s.submit(ctx, spec, false)
+}
+
+// SubmitNoFill is SubmitCtx for cluster dispatch traffic (peer runs): the
+// job must be executed here, never satisfied through the peer fill hook. A
+// dispatcher only sends a job off-owner when the owner is slow or down, so
+// asking the owner again from inside the run would boomerang a hedge or a
+// reroute right back into the straggler it was escaping.
+func (s *Server) SubmitNoFill(ctx context.Context, spec JobSpec) (JobStatus, error) {
+	return s.submit(ctx, spec, true)
+}
+
+func (s *Server) submit(ctx context.Context, spec JobSpec, noFill bool) (JobStatus, error) {
 	p, err := spec.Compile()
 	if err != nil {
 		return JobStatus{}, err
 	}
-	if ok, retryAfter := s.brk.allow(); !ok {
+	if ok, retryAfter := s.brk.Allow(); !ok {
 		s.metrics.rejectBreaker()
 		return JobStatus{}, fmt.Errorf("%w (retry after %s)", ErrBreakerOpen, retryAfter.Round(time.Second))
 	}
@@ -198,8 +272,12 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 		hash:      p.Hash(),
 		plan:      p,
 		state:     JobQueued,
+		noFill:    noFill,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
+	}
+	if ctx != context.Background() {
+		j.ctx = ctx
 	}
 
 	s.mu.Lock()
@@ -225,6 +303,12 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 	select {
 	case s.queue <- j:
 		s.jobs[j.id] = j
+		// First active job for this hash: record it so peers asking for the
+		// hash can wait on the in-flight computation (single-flight on the
+		// owner) instead of stampeding or missing.
+		if _, busy := s.inflight[j.hash]; !busy {
+			s.inflight[j.hash] = j
+		}
 		st := j.statusLocked()
 		s.mu.Unlock()
 		s.metrics.jobAccepted()
@@ -263,11 +347,22 @@ func (s *Server) runJob(rn *Runner, j *Job) {
 	s.mu.Lock()
 	j.state = JobRunning
 	j.started = time.Now()
+	fill := s.fill
 	s.mu.Unlock()
 
 	s.busy.Add(1)
 	start := time.Now()
 	ctx, cancel := context.WithTimeout(s.runCtx, s.opts.JobTimeout)
+	if j.ctx != nil {
+		// Tie the run to the submitter: if they disconnect while we are
+		// queued or running, cancel instead of burning a worker on a result
+		// nobody will read.
+		stop := context.AfterFunc(j.ctx, cancel)
+		defer stop()
+		if err := j.ctx.Err(); err != nil {
+			cancel()
+		}
+	}
 
 	var res *Result
 	var err error
@@ -288,6 +383,28 @@ func (s *Server) runJob(rn *Runner, j *Job) {
 		}
 		s.finalize(j, res, err, wall)
 	}()
+	// Cheapest path first: in a cluster, a job someone else already computed
+	// is one peer GET away. Only a confirmed fetch short-circuits the run;
+	// any miss, error, or timeout falls through to local simulation.
+	if fill != nil && !j.noFill {
+		if fres, ok := fill(ctx, j.hash); ok && fres != nil && fres.Hash == j.hash {
+			s.mu.Lock()
+			j.peer = true
+			s.mu.Unlock()
+			s.metrics.jobPeerFilled()
+			res = fres
+			return
+		}
+	}
+	if s.opts.Handicap > 0 {
+		// Demo/testing knob: model a slow node without touching results.
+		select {
+		case <-ctx.Done():
+			err = ctx.Err()
+			return
+		case <-time.After(s.opts.Handicap):
+		}
+	}
 	res, err = s.runWithRetry(ctx, rn, j.plan)
 }
 
@@ -295,6 +412,9 @@ func (s *Server) runJob(rn *Runner, j *Job) {
 func (s *Server) finalize(j *Job, res *Result, err error, wall time.Duration) {
 	s.mu.Lock()
 	j.finished = time.Now()
+	if s.inflight[j.hash] == j {
+		delete(s.inflight, j.hash)
+	}
 	switch {
 	case err == nil:
 		j.state = JobDone
@@ -302,7 +422,7 @@ func (s *Server) finalize(j *Job, res *Result, err error, wall time.Duration) {
 		s.cache.Put(j.hash, res)
 		s.metrics.jobCompleted(wall)
 		s.metrics.mergeStages(res.Obs)
-		s.brk.recordSuccess()
+		s.brk.RecordSuccess()
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		j.state = JobCanceled
 		j.err = err.Error()
@@ -312,7 +432,7 @@ func (s *Server) finalize(j *Job, res *Result, err error, wall time.Duration) {
 		j.state = JobFailed
 		j.err = err.Error()
 		s.metrics.jobFailed()
-		s.brk.recordFailure()
+		s.brk.RecordFailure()
 	}
 	close(j.done)
 	s.mu.Unlock()
@@ -349,7 +469,8 @@ func (s *Server) runWithRetry(ctx context.Context, rn *Runner, p *Plan) (*Result
 
 // statusLocked builds the status view; the caller holds s.mu.
 func (j *Job) statusLocked() JobStatus {
-	st := JobStatus{ID: j.id, Hash: j.hash, State: j.state, Cached: j.cached, Error: j.err}
+	st := JobStatus{ID: j.id, Hash: j.hash, State: j.state, Cached: j.cached,
+		PeerFilled: j.peer, Error: j.err}
 	switch j.state {
 	case JobQueued:
 		st.QueuedMs = float64(time.Since(j.submitted)) / float64(time.Millisecond)
@@ -385,6 +506,41 @@ func (s *Server) Result(id string) (*Result, JobStatus, bool) {
 	return j.result, j.statusLocked(), true
 }
 
+// ResultByHash returns the cached result for a canonical job hash. It is the
+// lookup behind the peer protocol's GET /v1/peer/result/{hash}.
+func (s *Server) ResultByHash(hash string) (*Result, bool) {
+	return s.cache.Get(hash)
+}
+
+// WaitByHash returns the result for a canonical job hash, waiting (bounded by
+// ctx) for an in-flight job computing that hash if one exists. ok is false
+// when the hash is neither cached nor in flight, when the in-flight job ends
+// in a non-done state, or when ctx expires first. This is the owner-side
+// single-flight: a hot sweep's worth of peers asking for the same hash all
+// park on the one computation instead of stampeding.
+func (s *Server) WaitByHash(ctx context.Context, hash string) (*Result, bool) {
+	if res, ok := s.cache.Get(hash); ok {
+		return res, true
+	}
+	s.mu.Lock()
+	j := s.inflight[hash]
+	s.mu.Unlock()
+	if j == nil {
+		return nil, false
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.state != JobDone || j.result == nil {
+		return nil, false
+	}
+	return j.result, true
+}
+
 // Wait blocks until job id completes (any terminal state) or ctx ends.
 func (s *Server) Wait(ctx context.Context, id string) (JobStatus, error) {
 	s.mu.Lock()
@@ -413,14 +569,14 @@ func (s *Server) Draining() bool {
 // "half-open"), its consecutive engine-failure count, and how many times it
 // has opened.
 func (s *Server) BreakerState() (string, int, uint64) {
-	return s.brk.snapshot()
+	return s.brk.Snapshot()
 }
 
 // MetricsSnapshot returns the current service metrics.
 func (s *Server) MetricsSnapshot() MetricsSnapshot {
 	snap := s.metrics.snapshot(s.opts.Workers, int(s.busy.Load()),
 		len(s.queue), s.opts.QueueDepth, s.cache.Len())
-	snap.BreakerState, _, snap.BreakerOpens = s.brk.snapshot()
+	snap.BreakerState, _, snap.BreakerOpens = s.brk.Snapshot()
 	return snap
 }
 

@@ -112,6 +112,29 @@ func applySweepValue(base JobSpec, parameter, val string) (JobSpec, error) {
 	return base, err
 }
 
+// ExpandSweep resolves a sweep request into one validated spec per point and
+// the aligned value list. Every point is pre-validated so a bad sweep fails
+// whole, before any output has been streamed. Shared by the local NDJSON
+// sweep endpoint and the cluster coordinator's fleet sweep.
+func ExpandSweep(sr SweepRequest) ([]JobSpec, []string, error) {
+	vals, err := sr.resolveValues()
+	if err != nil {
+		return nil, nil, err
+	}
+	specs := make([]JobSpec, len(vals))
+	for i, v := range vals {
+		spec, err := applySweepValue(sr.Base, sr.Parameter, v)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := spec.Compile(); err != nil {
+			return nil, nil, fmt.Errorf("sweep point %d (%s=%s): %v", i, sr.Parameter, v, err)
+		}
+		specs[i] = spec
+	}
+	return specs, vals, nil
+}
+
 // handleSweep streams NDJSON: one line per sweep point as soon as that point
 // completes (in sweep order), then a summary line with the service metrics.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -122,25 +145,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	vals, err := sr.resolveValues()
+	specs, vals, err := ExpandSweep(sr)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
-	}
-	// Pre-validate every point so a bad sweep fails whole, before any
-	// output has been streamed.
-	specs := make([]JobSpec, len(vals))
-	for i, v := range vals {
-		spec, err := applySweepValue(sr.Base, sr.Parameter, v)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		if _, err := spec.Compile(); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("sweep point %d (%s=%s): %v", i, sr.Parameter, v, err))
-			return
-		}
-		specs[i] = spec
 	}
 
 	ctx := r.Context()
@@ -157,7 +165,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		defer close(ids)
 		for _, spec := range specs {
 			for {
-				st, err := s.Submit(spec)
+				// Submitter-context submission: a client disconnect cancels
+				// every still-pending point instead of orphaning them.
+				st, err := s.SubmitCtx(ctx, spec)
 				if err == nil {
 					ids <- submitted{id: st.ID}
 					break

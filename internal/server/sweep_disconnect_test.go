@@ -1,0 +1,56 @@
+package server
+
+import (
+	"bufio"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestSweepClientDisconnectCancelsPending: a client that walks away from a
+// streaming NDJSON sweep mid-stream must not leave the rest of the sweep
+// running — still-pending points are canceled through the submitter context
+// and every per-sweep goroutine drains.
+func TestSweepClientDisconnectCancelsPending(t *testing.T) {
+	// One worker and a per-job handicap keep most of the sweep queued while
+	// the first line streams out.
+	s, ts := newTestServer(t, Options{
+		Workers:    1,
+		QueueDepth: 64,
+		Handicap:   25 * time.Millisecond,
+	})
+	baseline := runtime.NumGoroutine()
+
+	sweep := map[string]any{
+		"base": map[string]any{
+			"workload": map[string]any{"kind": "chase", "region": "16K", "max_steps": 400},
+		},
+		"parameter": "seed",
+		"values": []string{
+			"1", "2", "3", "4", "5", "6", "7", "8",
+			"9", "10", "11", "12", "13", "14", "15", "16",
+		},
+	}
+	resp := postJSON(t, ts.URL+"/v1/sweep", sweep)
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatalf("reading first sweep line: %v", err)
+	}
+	// Mid-stream disconnect: at least one point delivered, ~15 still queued
+	// or running.
+	resp.Body.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.MetricsSnapshot().JobsCanceled > 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if m := s.MetricsSnapshot(); m.JobsCanceled == 0 {
+		t.Errorf("jobs_canceled = 0 after disconnect; pending sweep points kept running (completed=%d)", m.JobsCompleted)
+	}
+	// The submitter goroutine, Wait parkers, and per-job watchers must all
+	// unwind; the worker pool itself is part of the baseline.
+	waitForGoroutines(t, baseline)
+}
