@@ -4,14 +4,32 @@ GO ?= go
 # microbenchmarks, and the observability hot-path (hooks-disabled overhead).
 BENCH_PKGS = ./ ./internal/sim/ ./internal/obs/
 
-.PHONY: ci build vet test race fmt-check fmt fuzz-smoke fuzz bench bench-smoke trace-smoke cluster-smoke cluster-demo
+.PHONY: ci build vet test race fmt-check fmt fuzz-smoke fuzz bench bench-smoke trace-smoke ckpt-smoke cluster-smoke cluster-demo
 
 # ci is the gate: vet, build, the full suite under the race detector
 # (including the nvmserved integration tests and the randomized ADR
 # crash-consistency property test), a short fuzz smoke per target, a
-# single-iteration bench smoke, a trace-export smoke, a 3-node cluster
-# smoke, and a gofmt check.
-ci: vet build race fuzz-smoke bench-smoke trace-smoke cluster-smoke fmt-check
+# single-iteration bench smoke, a trace-export smoke, a checkpoint/restore
+# smoke, a 3-node cluster smoke, and a gofmt check.
+ci: vet build race fuzz-smoke bench-smoke trace-smoke ckpt-smoke cluster-smoke fmt-check
+
+# ckpt-smoke drives checkpoint/restore end to end through the vans CLI:
+# a checkpointing run, a restore that must reproduce the original output
+# byte for byte, and a corrupted snapshot that must be rejected (non-zero
+# exit) rather than resumed.
+ckpt-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) build -o $$tmp/vans ./cmd/vans && \
+	$$tmp/vans -pattern chase -region 256K -ckpt-every 1000 \
+		-checkpoint $$tmp/snap.ckpt -json > $$tmp/a.json 2>/dev/null && \
+	$$tmp/vans -pattern chase -region 256K -ckpt-every 1000 \
+		-restore $$tmp/snap.ckpt -json > $$tmp/b.json 2>/dev/null && \
+	cmp $$tmp/a.json $$tmp/b.json && \
+	head -c 200 $$tmp/snap.ckpt > $$tmp/torn.ckpt && \
+	if $$tmp/vans -pattern chase -region 256K -ckpt-every 1000 \
+		-restore $$tmp/torn.ckpt -json >/dev/null 2>&1; then \
+		echo "ckpt-smoke: torn snapshot was accepted"; exit 1; fi && \
+	echo "ckpt-smoke: restore identity and corruption rejection OK"
 
 # cluster-smoke boots a 3-node loopback fleet through nvmload -demo and
 # verifies the whole cluster story end to end: consistent-hash sharding,
@@ -56,11 +74,13 @@ bench-smoke:
 fuzz-smoke:
 	$(GO) test ./internal/units/ -run '^$$' -fuzz=FuzzParseSize -fuzztime=5s
 	$(GO) test ./internal/server/ -run '^$$' -fuzz=FuzzJobSpec -fuzztime=5s
+	$(GO) test ./internal/ckpt/ -run '^$$' -fuzz=FuzzCheckpointDecode -fuzztime=5s
 
 # fuzz digs longer; run it when touching the parsers or the job model.
 fuzz:
 	$(GO) test ./internal/units/ -run '^$$' -fuzz=FuzzParseSize -fuzztime=2m
 	$(GO) test ./internal/server/ -run '^$$' -fuzz=FuzzJobSpec -fuzztime=2m
+	$(GO) test ./internal/ckpt/ -run '^$$' -fuzz=FuzzCheckpointDecode -fuzztime=2m
 
 build:
 	$(GO) build ./...

@@ -28,6 +28,11 @@
 //     dispatches are hedged to a second replica and the hedge wins.
 //  5. Kill: one node SIGKILLed mid-sweep — verifies the sweep completes with
 //     byte-identical results and the dead peer's breaker opens.
+//  6. Preempt: a fresh fleet with durable state dirs runs one long
+//     checkpointing job; its runner is SIGKILLed mid-job — verifies the job
+//     resumes from a replicated barrier snapshot on a surviving node
+//     (jobs_resumed > 0, not a from-scratch re-simulation) and the resumed
+//     result is byte-identical to the uninterrupted reference.
 //
 // Exit status is non-zero if any verification fails, which is what lets
 // `make cluster-smoke` gate CI on the cluster actually working.
@@ -49,6 +54,9 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/server"
 )
 
 func main() {
@@ -85,7 +93,7 @@ func main() {
 		if err := d.run(); err != nil {
 			log.Fatalf("DEMO FAILED: %v", err)
 		}
-		log.Print("demo passed: sharding, peer fill, hedging, and kill-rerouting all verified")
+		log.Print("demo passed: sharding, peer fill, hedging, kill-rerouting, and checkpointed preemption all verified")
 		return
 	}
 
@@ -244,8 +252,11 @@ type demoRun struct {
 	workers                        int
 	keepLogs                       bool
 	procs                          []*exec.Cmd
+	stateDirs                      []string
 	sweepA, sweepT, sweepH, sweepB map[string]any
 	refA, refT, refH, refB         map[int]string
+	ckptSpec                       server.JobSpec
+	refCkpt                        string
 	soloT                          time.Duration
 }
 
@@ -257,19 +268,28 @@ type demoNode struct {
 
 func (d *demoRun) run() error {
 	defer d.stopAll()
+	defer func() {
+		for _, dir := range d.stateDirs {
+			os.RemoveAll(dir)
+		}
+	}()
 	// Distinct seed ranges keep the four sweeps' job hashes disjoint, so no
 	// phase can be satisfied by a cache warmed in an earlier one.
 	d.sweepA = seedSweep(d.region, d.steps, 1, d.points)
 	d.sweepT = seedSweep(d.region, d.tpSteps, 1001, d.tpPoints)
 	d.sweepH = seedSweep(d.region, d.steps, 2001, d.points)
 	d.sweepB = seedSweep(d.region, d.tpSteps, 3001, d.killPoints)
+	var err0 error
+	if d.ckptSpec, err0 = ckptSpecOwnedBy("n2"); err0 != nil {
+		return fmt.Errorf("choosing preempt job: %w", err0)
+	}
 
 	if err := d.phaseReference(); err != nil {
 		return fmt.Errorf("reference phase: %w", err)
 	}
 
 	// Clean fleet: throughput scaling and peer cache fill.
-	nodes, err := d.startFleet(0)
+	nodes, err := d.startFleet(0, false)
 	if err != nil {
 		return fmt.Errorf("starting clean fleet: %w", err)
 	}
@@ -282,7 +302,7 @@ func (d *demoRun) run() error {
 	d.stopAll()
 
 	// Handicapped fleet: hedged dispatch, then SIGKILL survival.
-	nodes, err = d.startFleet(d.handicap)
+	nodes, err = d.startFleet(d.handicap, false)
 	if err != nil {
 		return fmt.Errorf("starting handicapped fleet: %w", err)
 	}
@@ -292,7 +312,45 @@ func (d *demoRun) run() error {
 	if err := d.phaseKill(nodes); err != nil {
 		return fmt.Errorf("kill phase: %w", err)
 	}
+	d.stopAll()
+
+	// Durable fleet: checkpointed preemption and cross-node resume.
+	nodes, err = d.startFleet(0, true)
+	if err != nil {
+		return fmt.Errorf("starting durable fleet: %w", err)
+	}
+	if err := d.phasePreempt(nodes); err != nil {
+		return fmt.Errorf("preempt phase: %w", err)
+	}
 	return nil
+}
+
+// ckptSpecOwnedBy scans seeds for a long checkpointing chase job whose
+// canonical hash is owned by the wanted member of the standard n1/n2/n3 ring
+// (the demo fleet runs default vnodes, so the client-side ring matches).
+func ckptSpecOwnedBy(owner string) (server.JobSpec, error) {
+	ring, err := cluster.NewRing([]string{"n1", "n2", "n3"}, 0)
+	if err != nil {
+		return server.JobSpec{}, err
+	}
+	for seed := uint64(4001); seed < 4500; seed++ {
+		// An 8M chase region caps the stream at 128Ki accesses (~0.5s of
+		// simulation): long enough to SIGKILL mid-job, short enough for CI.
+		// CkptEvery 5000 gives the runner ~26 barriers to replicate.
+		spec := server.JobSpec{
+			Workload:  server.WorkloadSpec{Kind: server.KindChase, Region: "8M", MaxSteps: 200000},
+			Seed:      seed,
+			CkptEvery: 5000,
+		}
+		p, err := spec.Compile()
+		if err != nil {
+			return server.JobSpec{}, err
+		}
+		if ring.Owner(p.Hash()) == owner {
+			return spec, nil
+		}
+	}
+	return server.JobSpec{}, fmt.Errorf("no seed in [4001,4500) hashes onto %s", owner)
 }
 
 // phaseReference computes every sweep's expected canonical results on a
@@ -325,6 +383,9 @@ func (d *demoRun) phaseReference() error {
 	if d.refB, _, err = run("B", d.sweepB, d.killPoints); err != nil {
 		return err
 	}
+	if d.refCkpt, _, err = dispatchJob(n.url, d.ckptSpec); err != nil {
+		return fmt.Errorf("solo preempt-job reference: %w", err)
+	}
 	log.Printf("phase 1 reference: solo node ran %d points (throughput sweep: %d points in %.0fms, %.1f jobs/s)",
 		2*d.points+d.tpPoints+d.killPoints, d.tpPoints, d.soloT.Seconds()*1e3,
 		float64(d.tpPoints)/d.soloT.Seconds())
@@ -332,8 +393,9 @@ func (d *demoRun) phaseReference() error {
 }
 
 // startFleet boots the 3-node membership; a non-zero handicap slows node n3
-// into the straggler role.
-func (d *demoRun) startFleet(handicap time.Duration) ([]demoNode, error) {
+// into the straggler role, and stateDirs gives every member a durable state
+// directory (checkpoint replication and resume need one on each node).
+func (d *demoRun) startFleet(handicap time.Duration, stateDirs bool) ([]demoNode, error) {
 	addrs, err := reservePorts(3)
 	if err != nil {
 		return nil, err
@@ -346,9 +408,16 @@ func (d *demoRun) startFleet(handicap time.Duration) ([]demoNode, error) {
 		if i == 2 {
 			hc = handicap
 		}
-		n, err := d.startNode(id, map[string]string{
-			"-addr": addrs[i], "-peers": peers,
-		}, hc)
+		extra := map[string]string{"-addr": addrs[i], "-peers": peers}
+		if stateDirs {
+			dir, err := os.MkdirTemp("", "nvmload-state-"+id+"-*")
+			if err != nil {
+				return nil, err
+			}
+			d.stateDirs = append(d.stateDirs, dir)
+			extra["-state-dir"] = dir
+		}
+		n, err := d.startNode(id, extra, hc)
 		if err != nil {
 			return nil, err
 		}
@@ -464,6 +533,129 @@ func (d *demoRun) phaseKill(nodes []demoNode) error {
 	return nil
 }
 
+// phasePreempt SIGKILLs the node running a long checkpointing job and
+// requires the job to finish anyway — resumed from a replicated barrier
+// snapshot on a survivor, byte-identical to the uninterrupted reference.
+func (d *demoRun) phasePreempt(nodes []demoNode) error {
+	type answer struct {
+		canon, node string
+		err         error
+	}
+	done := make(chan answer, 1)
+	go func() {
+		canon, node, err := dispatchJob(nodes[0].url, d.ckptSpec)
+		done <- answer{canon: canon, node: node, err: err}
+	}()
+
+	// Let the job get genuinely mid-stream (it runs ~0.5s and checkpoints
+	// every ~20ms), then SIGKILL its runner n2 with no warning.
+	select {
+	case a := <-done:
+		// The job outran the kill timer — possible on a very fast host. The
+		// resume path is still covered by `go test ./internal/cluster/`; here
+		// just verify the result and say so.
+		if a.err != nil {
+			return a.err
+		}
+		if a.canon != d.refCkpt {
+			return fmt.Errorf("preempt job result diverges from solo reference")
+		}
+		log.Print("phase 6 preempt: job finished before the kill window (fast host); resume not exercised")
+		return nil
+	case <-time.After(250 * time.Millisecond):
+		if err := d.procs[1].Process.Kill(); err != nil {
+			return fmt.Errorf("killing n2: %v", err)
+		}
+	}
+	a := <-done
+	if a.err != nil {
+		return fmt.Errorf("dispatch after killing the runner: %w", a.err)
+	}
+	if a.node == "n2" {
+		return fmt.Errorf("dead runner n2 reported as the winner")
+	}
+	if a.canon != d.refCkpt {
+		return fmt.Errorf("resumed result diverges from the uninterrupted reference")
+	}
+
+	// The winner must have resumed from a replicated snapshot, not restarted.
+	var resumed, received uint64
+	for _, n := range nodes {
+		if n.id == "n2" {
+			continue
+		}
+		m, err := nodeMetrics(n.url)
+		if err != nil {
+			return fmt.Errorf("scraping %s: %w", n.id, err)
+		}
+		resumed += m.JobsResumed
+		info, err := clusterInfo(n.url)
+		if err != nil {
+			return err
+		}
+		received += info.CkptReceived
+	}
+	if resumed == 0 {
+		return fmt.Errorf("no survivor resumed from a checkpoint; the job was re-simulated from scratch")
+	}
+	if received == 0 {
+		return fmt.Errorf("no survivor ever received a replicated snapshot")
+	}
+	log.Printf("phase 6 preempt: runner n2 SIGKILLed mid-job, %s resumed from a replicated snapshot — byte-identical (snapshots received=%d)",
+		a.node, received)
+	return nil
+}
+
+// dispatchJob runs one job through a coordinator's cluster endpoint and
+// returns the compacted canonical result plus the winning node.
+func dispatchJob(coordURL string, spec server.JobSpec) (canon, node string, err error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return "", "", err
+	}
+	resp, err := http.Post(coordURL+"/v1/cluster/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return "", "", fmt.Errorf("dispatch status %d: %s", resp.StatusCode, bytes.TrimSpace(b))
+	}
+	var dr struct {
+		Route struct {
+			Node string `json:"node"`
+		} `json:"route"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
+		return "", "", err
+	}
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, dr.Result); err != nil {
+		return "", "", err
+	}
+	return compact.String(), dr.Route.Node, nil
+}
+
+// nodeMetrics scrapes the local scheduler counters the demo asserts on.
+type schedMetrics struct {
+	JobsResumed uint64 `json:"jobs_resumed"`
+}
+
+func nodeMetrics(url string) (*schedMetrics, error) {
+	resp, err := http.Get(url + "/v1/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var m schedMetrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
 // startNode spawns one nvmserved process and waits for it to become healthy.
 func (d *demoRun) startNode(id string, extra map[string]string, handicap time.Duration) (demoNode, error) {
 	args := []string{
@@ -560,6 +752,9 @@ type infoCounters struct {
 	Reroutes       uint64 `json:"reroutes"`
 	PeerFillHits   uint64 `json:"peer_fill_hits"`
 	PeersUnhealthy int    `json:"peers_unhealthy"`
+	CkptReplicated uint64 `json:"ckpt_replicated"`
+	CkptReceived   uint64 `json:"ckpt_received"`
+	CkptRecovered  uint64 `json:"ckpt_recovered"`
 }
 
 func clusterInfo(url string) (*infoCounters, error) {

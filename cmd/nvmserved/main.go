@@ -10,8 +10,15 @@
 //	          [-max-retries 2] [-retry-base 10ms] [-retry-max 500ms]
 //	          [-breaker-threshold 5] [-breaker-cooldown 5s]
 //	          [-node-id n1] [-peers n1=host:port,n2=host:port,...]
-//	          [-hedge-after 0] [-handicap 0]
+//	          [-hedge-after 0] [-handicap 0] [-state-dir DIR]
 //	          [-debug-addr localhost:6060]
+//
+// -state-dir makes the daemon preemptible: checkpointing jobs write barrier
+// snapshots there, finished results persist across restarts, and SIGTERM
+// drains into checkpoints — in-flight checkpointing jobs stop at the next
+// barrier and resume from it when resubmitted to a restarted (or peer)
+// daemon. In cluster mode each snapshot is also replicated to the hash's
+// ring successor, so a SIGKILLed node's jobs resume on the survivor.
 //
 // Cluster mode: -node-id names this member and -peers lists the full fixed
 // membership (self included) as id=host:port pairs. Every node then serves
@@ -75,6 +82,7 @@ func main() {
 		peers        = flag.String("peers", "", "full cluster membership as id=host:port pairs, comma separated, self included (empty = single-node)")
 		hedgeAfter   = flag.Duration("hedge-after", 0, "fixed straggler budget before hedging a dispatch (0 = adaptive p95)")
 		handicap     = flag.Duration("handicap", 0, "artificial delay before each locally simulated job (slow-node demo knob)")
+		stateDir     = flag.String("state-dir", "", "durable state directory for checkpoints and results (empty = in-memory only)")
 		debugAddr    = flag.String("debug-addr", "", "optional pprof listener address, e.g. localhost:6060 (empty disables)")
 	)
 	flag.Parse()
@@ -102,6 +110,7 @@ func main() {
 		BreakerThreshold: *brkThreshold,
 		BreakerCooldown:  *brkCooldown,
 		Handicap:         *handicap,
+		StateDir:         *stateDir,
 	})
 
 	// Bind before wiring the cluster so -addr :0 resolves to a concrete
@@ -148,10 +157,16 @@ func main() {
 	// Drain the scheduler while HTTP stays up: draining flips immediately,
 	// so new submissions get 503 (not connection refused) and clients
 	// blocked on ?wait=1 see their jobs finish. Only then close HTTP.
-	if srv.Shutdown(*drainTimeout) {
-		log.Print("nvmserved: drained cleanly")
+	sum, clean := srv.ShutdownDrain(*drainTimeout)
+	if clean {
+		log.Printf("nvmserved: drained cleanly (finished=%d checkpointed=%d)",
+			sum.Finished, sum.Checkpointed)
 	} else {
-		log.Print("nvmserved: drain timeout, in-flight jobs canceled")
+		log.Printf("nvmserved: drain timeout (finished=%d checkpointed=%d canceled=%d)",
+			sum.Finished, sum.Checkpointed, sum.Canceled)
+		if sum.Checkpointed > 0 {
+			log.Print("nvmserved: checkpointed jobs resume from -state-dir on resubmission")
+		}
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()

@@ -11,6 +11,19 @@
 //	vans -pattern seq -op store-nt -fault '{"power_fail_cycle":4000}' -json
 //	vans -pattern seq -op store -trace out.json   # Chrome trace for Perfetto
 //	vans -pattern chase -stats                    # full observability table
+//
+// Checkpoint/restore: -ckpt-every N cuts a sealed snapshot at every Nth
+// access barrier; -checkpoint FILE keeps the latest snapshot on disk, and
+// -restore FILE resumes a later invocation from it. The resumed run is
+// byte-identical to an uninterrupted one, so a run killed mid-stream loses
+// only the work since the last barrier:
+//
+//	vans -pattern chase -region 256K -ckpt-every 1000 -checkpoint snap.ckpt -json
+//	vans -pattern chase -region 256K -ckpt-every 1000 -restore snap.ckpt -json
+//
+// The restoring invocation must repeat the same workload flags (including
+// -ckpt-every): snapshots are stamped with the canonical plan hash and refuse
+// to resume a different plan.
 package main
 
 import (
@@ -46,14 +59,18 @@ func main() {
 		traceOut    = flag.String("trace", "", "write a Chrome trace_event JSON file (open in Perfetto / chrome://tracing)")
 		stats       = flag.Bool("stats", false, "print the full observability table (every counter and stage histogram)")
 		statsJSON   = flag.Bool("stats-json", false, "print the observability dump as JSON")
+		ckptEvery   = flag.Int("ckpt-every", 0, "checkpoint every N accesses at engine-idle barriers (0 disables)")
+		ckptOut     = flag.String("checkpoint", "", "write each barrier snapshot to FILE (the file always holds the latest barrier)")
+		restoreFile = flag.String("restore", "", "resume from a snapshot FILE written by -checkpoint (same workload flags required)")
 	)
 	flag.Parse()
 
 	spec := server.JobSpec{
-		Config: server.ConfigSpec{DIMMs: *dimms, Interleaved: *interleaved},
-		Window: *window,
-		Seed:   *seed,
-		Trace:  *traceOut != "",
+		Config:    server.ConfigSpec{DIMMs: *dimms, Interleaved: *interleaved},
+		Window:    *window,
+		Seed:      *seed,
+		Trace:     *traceOut != "",
+		CkptEvery: *ckptEvery,
 	}
 	if *faultJSON != "" {
 		var fs fault.Spec
@@ -83,9 +100,48 @@ func main() {
 		os.Exit(2)
 	}
 
-	res, err := server.RunSpec(context.Background(), spec)
+	var cio *server.CkptIO
+	if *ckptOut != "" || *restoreFile != "" {
+		if *ckptEvery <= 0 {
+			fatalf(2, "vans: -checkpoint and -restore require -ckpt-every")
+		}
+		cio = &server.CkptIO{}
+		if *restoreFile != "" {
+			snap, err := os.ReadFile(*restoreFile)
+			if err != nil {
+				fatalf(1, "vans: -restore: %v", err)
+			}
+			cio.Resume = snap
+		}
+		if *ckptOut != "" {
+			out := *ckptOut
+			cio.Sink = func(idx int, snap []byte) error {
+				// Atomic replace: a crash mid-write must not destroy the last
+				// good snapshot — that is the whole point of having one.
+				tmp := out + ".tmp"
+				if err := os.WriteFile(tmp, snap, 0o644); err != nil {
+					return err
+				}
+				return os.Rename(tmp, out)
+			}
+		}
+	}
+
+	p, err := spec.Compile()
 	if err != nil {
 		fatalf(2, "vans: %v", err)
+	}
+	res, err := server.NewRunner().RunAttemptCkpt(context.Background(), p, 0, cio)
+	if err != nil {
+		fatalf(2, "vans: %v", err)
+	}
+	if cio != nil {
+		if cio.ResumedFrom > 0 {
+			fmt.Fprintf(os.Stderr, "vans: resumed from access %d (snapshot %s)\n", cio.ResumedFrom, *restoreFile)
+		}
+		if cio.Saves > 0 {
+			fmt.Fprintf(os.Stderr, "vans: wrote %d barrier snapshot(s), latest in %s\n", cio.Saves, *ckptOut)
+		}
 	}
 
 	if *traceOut != "" {

@@ -1,0 +1,58 @@
+package ckpt
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzCheckpointDecode feeds hostile bytes through the full decode path:
+// envelope open, then a primitive-decode walk shaped like a component
+// LoadState. The contract under fuzz is typed errors, never a panic and
+// never an unbounded allocation.
+func FuzzCheckpointDecode(f *testing.F) {
+	// Seed corpus: a valid snapshot, a truncated one, a bit-flipped one, a
+	// version-bumped one, and degenerate inputs (mirrors testdata/corpus).
+	valid := Seal(samplePayload())
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	flipped := append([]byte(nil), valid...)
+	flipped[9] ^= 0x10
+	f.Add(flipped)
+	bumped := append([]byte(nil), valid[:len(valid)-4]...)
+	bumped[6]++
+	f.Add(sealCRC(bumped))
+	f.Add([]byte{})
+	f.Add([]byte("NVCKPT"))
+	f.Add(Seal(nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := Open(data)
+		if err != nil {
+			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrChecksum) &&
+				!errors.Is(err, ErrVersion) && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("Open returned untyped error: %v", err)
+			}
+			return
+		}
+		// The envelope checked out; drain the payload through every
+		// primitive. Any failure must be typed and sticky.
+		d := NewDec(payload)
+		_ = d.U64()
+		_ = d.U32()
+		_ = d.U16()
+		_ = d.Bool()
+		_ = d.F64()
+		_ = d.BytesField()
+		_ = d.String()
+		_ = d.U64s()
+		n := d.Count(8)
+		for i := 0; i < n; i++ {
+			_ = d.U64()
+		}
+		if err := d.Close(); err != nil {
+			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("Close returned untyped error: %v", err)
+			}
+		}
+	})
+}

@@ -356,6 +356,143 @@ func TestClusterSweepEndpoint(t *testing.T) {
 	}
 }
 
+// clusterCkptSpec is a checkpointing pointer chase: the 64K region caps the
+// stream at 1024 accesses, so CkptEvery 300 cuts barriers at 300/600/900.
+func clusterCkptSpec(seed uint64) server.JobSpec {
+	return server.JobSpec{
+		Workload:  server.WorkloadSpec{Kind: server.KindChase, Region: "64K", MaxSteps: 2000},
+		Seed:      seed,
+		CkptEvery: 300,
+	}
+}
+
+// ckptSpecOwnedBy scans seeds for a checkpointing job owned by the wanted
+// member, returning the spec and its canonical hash.
+func ckptSpecOwnedBy(t *testing.T, n *Node, id string) (server.JobSpec, string) {
+	t.Helper()
+	for seed := uint64(1); seed < 500; seed++ {
+		spec := clusterCkptSpec(seed)
+		p, err := spec.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.Owner(p.Hash()) == id {
+			return spec, p.Hash()
+		}
+	}
+	t.Fatalf("no seed below 500 hashes onto %s", id)
+	return server.JobSpec{}, ""
+}
+
+// TestCkptHandoffAcrossNodes: a checkpointing job replicates every barrier
+// snapshot to its ring successor; when the runner is SIGKILLed the re-dispatch
+// lands on the successor, which resumes from the replica instead of
+// restarting — and the resumed result is byte-identical.
+func TestCkptHandoffAcrossNodes(t *testing.T) {
+	nodes := startCluster(t, 3,
+		func(i int) server.Options {
+			return server.Options{Workers: 2, QueueDepth: 64, CacheEntries: 64, StateDir: t.TempDir()}
+		},
+		func(i int) Config {
+			return Config{BreakerThreshold: 1, BreakerCooldown: time.Minute}
+		},
+	)
+	spec, hash := ckptSpecOwnedBy(t, nodes[0].node, "n3")
+
+	// Healthy run: the owner executes and pushes each barrier snapshot to the
+	// next ring member (replication is synchronous with the barrier, so by the
+	// time Dispatch returns the replica holds the final snapshot).
+	res1, route1, err := nodes[0].node.Dispatch(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("Dispatch: %v", err)
+	}
+	if route1.Node != "n3" {
+		t.Fatalf("healthy dispatch answered by %s, want owner n3", route1.Node)
+	}
+	var owner, replica *testNode
+	for _, tn := range nodes {
+		if tn.id == "n3" {
+			owner = tn
+		} else if _, ok := tn.srv.CheckpointBytes(hash); ok {
+			replica = tn
+		}
+	}
+	if replica == nil {
+		t.Fatal("no surviving member holds a replicated snapshot")
+	}
+	if n := owner.node.Info().CkptReplicated; n == 0 {
+		t.Errorf("owner ckpt_replicated = %d, want > 0", n)
+	}
+	if n := replica.node.Info().CkptReceived; n == 0 {
+		t.Errorf("replica ckpt_received = %d, want > 0", n)
+	}
+	snap, _ := replica.srv.CheckpointBytes(hash)
+
+	// The runner dies mid-"sweep". Re-dispatching reroutes to the ring
+	// successor, which finds the replicated snapshot in its own state dir and
+	// resumes from the last barrier.
+	owner.ts.Close()
+	res2, route2, err := nodes[0].node.Dispatch(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("dispatch after owner death: %v", err)
+	}
+	if route2.Node == "n3" {
+		t.Fatal("dead owner reported as the winner")
+	}
+	var winner *testNode
+	for _, tn := range nodes {
+		if tn.id == route2.Node {
+			winner = tn
+		}
+	}
+	if winner != replica {
+		t.Errorf("winner %s is not the snapshot-holding successor %s", winner.id, replica.id)
+	}
+	if n := winner.srv.MetricsSnapshot().JobsResumed; n == 0 {
+		t.Error("surviving node re-simulated from scratch; want a checkpoint resume")
+	}
+	if !bytes.Equal(res1.Canonical(), res2.Canonical()) {
+		t.Error("resumed result differs from the uninterrupted run")
+	}
+
+	// Fetch path: snapshots are stamped with the canonical plan hash, so they
+	// are portable across clusters. Seed a fresh two-member fleet where only
+	// the non-owner holds the snapshot; the owner must pull it over the peer
+	// protocol before running.
+	c2 := startCluster(t, 2,
+		func(i int) server.Options {
+			return server.Options{Workers: 2, QueueDepth: 64, CacheEntries: 64, StateDir: t.TempDir()}
+		}, nil)
+	owner2 := c2[0].node.Owner(hash)
+	var runner2, holder2 *testNode
+	for _, tn := range c2 {
+		if tn.id == owner2 {
+			runner2 = tn
+		} else {
+			holder2 = tn
+		}
+	}
+	if err := holder2.srv.PutCheckpoint(hash, snap); err != nil {
+		t.Fatalf("PutCheckpoint on %s: %v", holder2.id, err)
+	}
+	res3, route3, err := c2[0].node.Dispatch(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("dispatch on second cluster: %v", err)
+	}
+	if route3.Node != owner2 {
+		t.Fatalf("second-cluster dispatch answered by %s, want owner %s", route3.Node, owner2)
+	}
+	if n := runner2.node.Info().CkptRecovered; n != 1 {
+		t.Errorf("owner ckpt_recovered = %d, want 1", n)
+	}
+	if n := runner2.srv.MetricsSnapshot().JobsResumed; n == 0 {
+		t.Error("owner did not resume from the fetched snapshot")
+	}
+	if !bytes.Equal(res1.Canonical(), res3.Canonical()) {
+		t.Error("peer-recovered result differs from the uninterrupted run")
+	}
+}
+
 // TestSingleMemberCluster: with no remote peers the cluster layer degrades to
 // plain local execution — no fill hook, every dispatch local.
 func TestSingleMemberCluster(t *testing.T) {

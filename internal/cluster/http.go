@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"time"
@@ -20,6 +21,8 @@ import (
 //	GET  /v1/cluster/info         membership, peer health, cluster counters
 //	GET  /v1/peer/result/{hash}   canonical result by job hash (peer fill)
 //	POST /v1/peer/run             execute a job locally and return its result
+//	GET  /v1/peer/ckpt/{hash}     durable job snapshot (preemption migration)
+//	PUT  /v1/peer/ckpt/{hash}     store a replicated job snapshot
 //
 // The peer routes are the protocol spoken between members; the cluster
 // routes are the client-facing coordinator. Every member serves both, so any
@@ -31,6 +34,8 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/cluster/info", n.handleClusterInfo)
 	mux.HandleFunc("GET /v1/peer/result/{hash}", n.handlePeerResult)
 	mux.HandleFunc("POST /v1/peer/run", n.handlePeerRun)
+	mux.HandleFunc("GET /v1/peer/ckpt/{hash}", n.handlePeerCkptGet)
+	mux.HandleFunc("PUT /v1/peer/ckpt/{hash}", n.handlePeerCkptPut)
 	mux.Handle("/", n.local.Handler())
 	return mux
 }
@@ -248,6 +253,47 @@ func (n *Node) handlePeerResult(w http.ResponseWriter, r *http.Request) {
 	writeCanonical(w, res)
 }
 
+// handlePeerCkptGet serves this node's durable snapshot of a job hash — the
+// read side of preemption migration: the node taking over a killed peer's job
+// asks the replicas for the last checkpoint before simulating from scratch.
+func (n *Node) handlePeerCkptGet(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	if len(hash) != 64 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("cluster: malformed job hash %q", hash))
+		return
+	}
+	snap, ok := n.local.CheckpointBytes(hash)
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no snapshot here"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(snap)
+}
+
+// handlePeerCkptPut stores a snapshot replicated from the node running the
+// job. The local server validates the sealed envelope before anything
+// touches the state dir.
+func (n *Node) handlePeerCkptPut(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	if len(hash) != 64 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("cluster: malformed job hash %q", hash))
+		return
+	}
+	snap, err := io.ReadAll(io.LimitReader(r.Body, maxCkptBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := n.local.PutCheckpoint(hash, snap); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	n.m.ckptReceived.Add(1)
+	w.WriteHeader(http.StatusNoContent)
+}
+
 // handlePeerRun executes a job on this node's scheduler and returns the
 // canonical result: the receiving end of sharded and hedged dispatch. Load
 // pushback surfaces as 429/503 so the dispatcher reroutes instead of piling
@@ -261,6 +307,11 @@ func (n *Node) handlePeerRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	n.m.peerRuns.Add(1)
+	// A checkpointing job may have been preempted elsewhere: pull the latest
+	// replicated snapshot before running so the job resumes, not restarts.
+	if p, err := spec.Compile(); err == nil {
+		n.recoverCkpt(r.Context(), p)
+	}
 	// NoFill: this job was routed HERE by a dispatcher (shard owner, hedge,
 	// or reroute); consulting the fill hook would bounce it back toward the
 	// owner — the slow or dead node the dispatcher is often escaping.

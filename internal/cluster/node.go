@@ -166,9 +166,87 @@ func NewNode(local *server.Server, cfg Config) (*Node, error) {
 	}
 	if len(n.peers) > 0 {
 		local.SetFill(n.fillFromPeers)
+		local.SetCkptReplicate(n.replicateCkpt)
 	}
 	local.RegisterProm(n.writeProm)
 	return n, nil
+}
+
+// replicateCkpt is the server.CkptReplicateFunc installed on the local
+// scheduler: every checkpoint the scheduler saves is pushed, best-effort, to
+// the first healthy non-self member in the hash's ring order. With one
+// replica per barrier, a SIGKILLed node costs only the work since the last
+// barrier — the successor resumes from its copy when the job is resubmitted.
+func (n *Node) replicateCkpt(hash string, snap []byte) {
+	for _, id := range n.ring.Order(hash) {
+		if id == n.cfg.SelfID {
+			continue
+		}
+		ps := n.peers[id]
+		if !ps.brk.Ready() {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		err := n.client.PushCkpt(ctx, ps.url, hash, snap)
+		cancel()
+		if err != nil {
+			n.m.ckptReplErrors.Add(1)
+			var pe *peerError
+			if errors.As(err, &pe) && pe.countsAgainstPeer() {
+				ps.brk.RecordFailure()
+			}
+			continue // try the next replica; any surviving copy is enough
+		}
+		ps.brk.RecordSuccess()
+		n.m.ckptReplicated.Add(1)
+		return
+	}
+}
+
+// recoverCkpt runs before this node simulates a dispatched job: if the plan
+// checkpoints and no snapshot is held locally, ask up to two non-self ring
+// members for their replica so the run resumes mid-stream instead of
+// restarting. Best-effort — any failure just means simulating from scratch,
+// which is always correct.
+func (n *Node) recoverCkpt(ctx context.Context, p *server.Plan) {
+	if p.CkptEvery <= 0 || len(n.peers) == 0 {
+		return
+	}
+	hash := p.Hash()
+	if _, ok := n.local.CheckpointBytes(hash); ok {
+		return
+	}
+	targets := 0
+	for _, id := range n.ring.Order(hash) {
+		if id == n.cfg.SelfID {
+			continue
+		}
+		if targets++; targets > 2 {
+			break
+		}
+		ps := n.peers[id]
+		if !ps.brk.Ready() {
+			continue
+		}
+		fctx, fcancel := context.WithTimeout(ctx, 5*time.Second)
+		snap, ok, err := n.client.FetchCkpt(fctx, ps.url, hash)
+		fcancel()
+		if err != nil {
+			var pe *peerError
+			if errors.As(err, &pe) && pe.countsAgainstPeer() {
+				ps.brk.RecordFailure()
+			}
+			continue
+		}
+		ps.brk.RecordSuccess()
+		if !ok {
+			continue
+		}
+		if n.local.PutCheckpoint(hash, snap) == nil {
+			n.m.ckptRecovered.Add(1)
+			return
+		}
+	}
 }
 
 // Local returns the node's local scheduler.
@@ -334,6 +412,9 @@ func (n *Node) race(ctx context.Context, spec server.JobSpec, chain []string, ro
 // the fill hook: when this node is not the owner it is here as a hedge or
 // reroute target, and filling would chase the very owner being avoided.
 func (n *Node) runLocal(ctx context.Context, spec server.JobSpec) (*server.Result, error) {
+	if p, err := spec.Compile(); err == nil {
+		n.recoverCkpt(ctx, p)
+	}
 	for {
 		st, err := n.local.SubmitNoFill(ctx, spec)
 		switch {
@@ -452,6 +533,10 @@ type clusterMetrics struct {
 	peerServeHits  atomic.Uint64
 	peerServeMiss  atomic.Uint64
 	peerRuns       atomic.Uint64
+	ckptReplicated atomic.Uint64
+	ckptReplErrors atomic.Uint64
+	ckptReceived   atomic.Uint64
+	ckptRecovered  atomic.Uint64
 }
 
 // PeerInfo is one member's health view in InfoSnapshot.
@@ -481,6 +566,10 @@ type InfoSnapshot struct {
 	PeerServeHits  uint64     `json:"peer_serve_hits"`
 	PeerServeMiss  uint64     `json:"peer_serve_misses"`
 	PeerRuns       uint64     `json:"peer_runs"`
+	CkptReplicated uint64     `json:"ckpt_replicated"`
+	CkptReplErrors uint64     `json:"ckpt_repl_errors"`
+	CkptReceived   uint64     `json:"ckpt_received"`
+	CkptRecovered  uint64     `json:"ckpt_recovered"`
 }
 
 // Info snapshots the cluster state and counters.
@@ -501,6 +590,10 @@ func (n *Node) Info() InfoSnapshot {
 		PeerServeHits:  n.m.peerServeHits.Load(),
 		PeerServeMiss:  n.m.peerServeMiss.Load(),
 		PeerRuns:       n.m.peerRuns.Load(),
+		CkptReplicated: n.m.ckptReplicated.Load(),
+		CkptReplErrors: n.m.ckptReplErrors.Load(),
+		CkptReceived:   n.m.ckptReceived.Load(),
+		CkptRecovered:  n.m.ckptRecovered.Load(),
 	}
 	ids := make([]string, 0, len(n.peers))
 	for id := range n.peers {

@@ -120,6 +120,60 @@ func (c *Client) Run(ctx context.Context, baseURL string, spec server.JobSpec) (
 	return decodeResult(resp.Body, "")
 }
 
+// maxCkptBytes bounds a peer snapshot body. Snapshots are full system images
+// of bounded simulations; 64MB is far past any realistic plan.
+const maxCkptBytes = 64 << 20
+
+// FetchCkpt asks baseURL for its durable snapshot of a canonical job hash
+// (GET /v1/peer/ckpt/{hash}). ok=false with nil error is a clean miss.
+func (c *Client) FetchCkpt(ctx context.Context, baseURL, hash string) ([]byte, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		baseURL+"/v1/peer/ckpt/"+hash, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, false, &peerError{transport: true, msg: err.Error()}
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		snap, err := io.ReadAll(io.LimitReader(resp.Body, maxCkptBytes))
+		if err != nil {
+			return nil, false, &peerError{transport: true, msg: err.Error()}
+		}
+		return snap, true, nil
+	case http.StatusNotFound:
+		io.Copy(io.Discard, resp.Body)
+		return nil, false, nil
+	default:
+		return nil, false, readPeerError(resp)
+	}
+}
+
+// PushCkpt replicates a job snapshot to baseURL (PUT /v1/peer/ckpt/{hash}),
+// where it lands in the peer's durable state dir. The receiver validates the
+// envelope before storing.
+func (c *Client) PushCkpt(ctx context.Context, baseURL, hash string, snap []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut,
+		baseURL+"/v1/peer/ckpt/"+hash, bytes.NewReader(snap))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return &peerError{transport: true, msg: err.Error()}
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		return &peerError{status: resp.StatusCode, msg: resp.Status}
+	}
+	return nil
+}
+
 // Health probes baseURL's /v1/healthz, returning the raw status code (a 503
 // from a draining or degraded node is a valid, readable answer).
 func (c *Client) Health(ctx context.Context, baseURL string) (int, error) {

@@ -30,6 +30,10 @@ func (n *Node) writeProm(w io.Writer) error {
 	counter("nvmcluster_peer_serve_hits_total", "Peer result requests served from the local cache.", s.PeerServeHits)
 	counter("nvmcluster_peer_serve_misses_total", "Peer result requests that missed.", s.PeerServeMiss)
 	counter("nvmcluster_peer_runs_total", "Jobs executed here on behalf of a remote dispatcher.", s.PeerRuns)
+	counter("nvmcluster_ckpt_replicated_total", "Job snapshots pushed to a ring replica.", s.CkptReplicated)
+	counter("nvmcluster_ckpt_repl_errors_total", "Snapshot replication attempts that failed.", s.CkptReplErrors)
+	counter("nvmcluster_ckpt_received_total", "Replicated job snapshots accepted from peers.", s.CkptReceived)
+	counter("nvmcluster_ckpt_recovered_total", "Jobs resumed from a snapshot fetched off a peer.", s.CkptRecovered)
 
 	fmt.Fprintf(&b, "# HELP nvmcluster_peers_unhealthy Peers whose health breaker is currently open.\n# TYPE nvmcluster_peers_unhealthy gauge\nnvmcluster_peers_unhealthy %d\n", s.PeersUnhealthy)
 	fmt.Fprintf(&b, "# HELP nvmcluster_hedge_budget_seconds Current straggler budget before a dispatch is hedged.\n# TYPE nvmcluster_hedge_budget_seconds gauge\nnvmcluster_hedge_budget_seconds %g\n", s.HedgeBudgetMs/1e3)

@@ -1,0 +1,73 @@
+package mem
+
+import (
+	"testing"
+
+	"repro/internal/ckpt"
+)
+
+// TestBarrierPlacement pins the barrier rule: every Every-th index plus the
+// forced warmup boundary, never index 0.
+func TestBarrierPlacement(t *testing.T) {
+	p := &CkptPolicy{Every: 100, ForcedAt: 250}
+	var got []int
+	for i := 0; i < 600; i++ {
+		if p.atBarrier(i) {
+			got = append(got, i)
+		}
+	}
+	want := []int{100, 200, 250, 300, 400, 500}
+	if len(got) != len(want) {
+		t.Fatalf("barriers at %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("barriers at %v, want %v", got, want)
+		}
+	}
+	var nilPol *CkptPolicy
+	for i := 0; i < 600; i++ {
+		if nilPol.atBarrier(i) {
+			t.Fatalf("nil policy claims a barrier at %d", i)
+		}
+	}
+}
+
+// TestBarrierCheckZeroAlloc pins the disabled-checkpoint hot path at zero
+// allocations: a driver without a policy must pay nothing per access.
+func TestBarrierCheckZeroAlloc(t *testing.T) {
+	d := &Driver{}
+	sink := false
+	if avg := testing.AllocsPerRun(1000, func() {
+		for i := 0; i < 64; i++ {
+			if d.ckpt.atBarrier(i) {
+				sink = true
+			}
+		}
+	}); avg != 0 {
+		t.Fatalf("disabled barrier check allocates %.1f per run, want 0", avg)
+	}
+	if sink {
+		t.Fatal("nil policy fired a barrier")
+	}
+}
+
+// TestDriverStateRoundTrip: driver accounting survives a save/load cycle.
+func TestDriverStateRoundTrip(t *testing.T) {
+	d := &Driver{nextID: 42, faults: 0, reads: 7, writes: 9, faultCount: 0, runStart: 1234}
+	var enc ckpt.Enc
+	if err := d.SaveState(&enc); err != nil {
+		t.Fatalf("SaveState: %v", err)
+	}
+	d2 := &Driver{}
+	dec := ckpt.NewDec(enc.Bytes())
+	if err := d2.LoadState(dec); err != nil {
+		t.Fatalf("LoadState: %v", err)
+	}
+	if err := dec.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if d2.nextID != 42 || d2.reads != 7 || d2.writes != 9 || d2.runStart != 1234 {
+		t.Fatalf("restored driver %+v", d2)
+	}
+}

@@ -26,6 +26,13 @@ type Driver struct {
 	faultCount uint64
 	histRead   *obs.Histogram
 	histWrite  *obs.Histogram
+
+	// ckpt, when set, makes checkpoint barriers part of the run (see
+	// CkptPolicy). runStart is the engine cycle the windowed run started at;
+	// it is serialized so a resumed run reports the same elapsed span.
+	ckpt     *CkptPolicy
+	ckptErr  error
+	runStart sim.Cycle
 }
 
 // NewDriver returns a driver bound to sys.
@@ -171,9 +178,41 @@ func (d *Driver) RunWindowChecked(accs []Access, window int, keepGoing func() bo
 	}
 	eng := d.sys.Engine()
 	start := eng.Now()
+	first := 0
+	if d.ckpt != nil && d.ckpt.StartIndex > 0 {
+		// Resuming from a snapshot: the accesses before StartIndex already ran
+		// in the captured prefix, and the run's true start cycle was restored
+		// by LoadState.
+		first = d.ckpt.StartIndex
+		start = d.runStart
+	} else {
+		d.runStart = start
+	}
 	inflight := 0
 	completed := true
-	for _, a := range accs {
+	for i := first; i < len(accs); i++ {
+		a := accs[i]
+		if d.ckpt.atBarrier(i) && i != first {
+			// Checkpoint barrier: drain the window, run the engine dry, then
+			// hand the idle cut to the sink. The drain is executed even with a
+			// nil sink so barrier placement — part of the plan — perturbs a
+			// non-checkpointing run identically.
+			for inflight > 0 {
+				if eng.Pending() == 0 {
+					panic("mem: barrier drain stalled with no pending events (model deadlock)")
+				}
+				fired := eng.Fired()
+				eng.RunWhile(func() bool { return eng.Fired() == fired })
+			}
+			eng.Run()
+			if d.ckpt.Sink != nil {
+				if err := d.ckpt.Sink(i); err != nil {
+					d.ckptErr = err
+					completed = false
+					break
+				}
+			}
+		}
 		if keepGoing != nil && !keepGoing() {
 			completed = false
 			break

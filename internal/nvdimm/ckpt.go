@@ -1,0 +1,356 @@
+package nvdimm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ckpt"
+	"repro/internal/sim"
+)
+
+// This file is the nvdimm half of the exact-state checkpoint subsystem:
+// every mutable structure inside a DIMM serializes itself in a fixed,
+// documented field order (DESIGN.md §12). Configuration is never carried —
+// the restoring side rebuilds the same structures from the same plan and
+// the loaders verify the geometry matches.
+
+// SaveState serializes the LSQ: live entries oldest-first as (line, enq),
+// then merges and accepts.
+func (q *LSQ) SaveState(enc *ckpt.Enc) {
+	enc.U32(uint32(q.live))
+	for _, s := range q.order {
+		if s.line != lsqTombstone {
+			enc.U64(s.line)
+			enc.U64(uint64(s.enq))
+		}
+	}
+	enc.U64(q.merges)
+	enc.U64(q.accepts)
+}
+
+// LoadState restores an LSQ captured by SaveState.
+func (q *LSQ) LoadState(dec *ckpt.Dec) error {
+	n := dec.Count(16)
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if n > q.maxSlots {
+		return fmt.Errorf("%w: %d LSQ entries, capacity %d", ckpt.ErrCorrupt, n, q.maxSlots)
+	}
+	clear(q.slots)
+	q.order = q.order[:0]
+	q.live = n
+	for i := 0; i < n; i++ {
+		line := dec.U64()
+		enq := sim.Cycle(dec.U64())
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		if _, dup := q.slots[line]; dup {
+			return fmt.Errorf("%w: duplicate LSQ line %#x", ckpt.ErrCorrupt, line)
+		}
+		q.slots[line] = len(q.order)
+		q.order = append(q.order, lsqSlot{line: line, enq: enq})
+	}
+	q.merges = dec.U64()
+	q.accepts = dec.U64()
+	return dec.Err()
+}
+
+// SaveState serializes the RMW buffer: resident lines sorted by block as
+// (block, dirty, lastUse), then tick, hits, misses.
+func (b *RMWBuffer) SaveState(enc *ckpt.Enc) {
+	blocks := make([]uint64, 0, len(b.lines))
+	for blk := range b.lines {
+		blocks = append(blocks, blk)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	enc.U32(uint32(len(blocks)))
+	for _, blk := range blocks {
+		l := b.lines[blk]
+		enc.U64(l.block)
+		enc.Bool(l.dirty)
+		enc.U64(l.lastUse)
+	}
+	enc.U64(b.tick)
+	enc.U64(b.hits)
+	enc.U64(b.misses)
+}
+
+// LoadState restores an RMW buffer captured by SaveState.
+func (b *RMWBuffer) LoadState(dec *ckpt.Dec) error {
+	n := dec.Count(17)
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if n > b.entries {
+		return fmt.Errorf("%w: %d RMW lines, capacity %d", ckpt.ErrCorrupt, n, b.entries)
+	}
+	clear(b.lines)
+	for i := 0; i < n; i++ {
+		blk := dec.U64()
+		dirty := dec.Bool()
+		lastUse := dec.U64()
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		b.lines[blk] = &rmwLine{block: blk, dirty: dirty, lastUse: lastUse}
+	}
+	b.tick = dec.U64()
+	b.hits = dec.U64()
+	b.misses = dec.U64()
+	return dec.Err()
+}
+
+// SaveState serializes the AIT data buffer densely: set count, ways, then
+// every way of every set as (present, page, valid, dirty, lastUse), then
+// tick, hits, misses, sectorMiss.
+func (b *AITBuffer) SaveState(enc *ckpt.Enc) {
+	enc.U32(uint32(len(b.sets)))
+	enc.U32(uint32(b.ways))
+	for _, set := range b.sets {
+		for i := range set {
+			enc.Bool(set[i].present)
+			enc.U64(set[i].page)
+			enc.U16(set[i].valid)
+			enc.U16(set[i].dirty)
+			enc.U64(set[i].lastUse)
+		}
+	}
+	enc.U64(b.tick)
+	enc.U64(b.hits)
+	enc.U64(b.misses)
+	enc.U64(b.sectorMiss)
+}
+
+// LoadState restores an AIT buffer captured by SaveState.
+func (b *AITBuffer) LoadState(dec *ckpt.Dec) error {
+	sets := int(dec.U32())
+	ways := int(dec.U32())
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if sets != len(b.sets) || ways != b.ways {
+		return fmt.Errorf("%w: AIT geometry %dx%d, this buffer %dx%d",
+			ckpt.ErrCorrupt, sets, ways, len(b.sets), b.ways)
+	}
+	for _, set := range b.sets {
+		for i := range set {
+			set[i].present = dec.Bool()
+			set[i].page = dec.U64()
+			set[i].valid = dec.U16()
+			set[i].dirty = dec.U16()
+			set[i].lastUse = dec.U64()
+		}
+	}
+	b.tick = dec.U64()
+	b.hits = dec.U64()
+	b.misses = dec.U64()
+	b.sectorMiss = dec.U64()
+	return dec.Err()
+}
+
+// saveState serializes the identity-default paged array as its allocated
+// leaves (leaf index + 512 raw entries each).
+func (p *identPages) saveState(enc *ckpt.Enc) {
+	n := uint32(0)
+	for _, l := range p.leaves {
+		if l != nil {
+			n++
+		}
+	}
+	enc.U32(n)
+	for li, l := range p.leaves {
+		if l == nil {
+			continue
+		}
+		enc.U64(uint64(li))
+		for _, v := range l {
+			enc.U64(v)
+		}
+	}
+}
+
+func (p *identPages) loadState(dec *ckpt.Dec) error {
+	n := dec.Count(8 + identLeafSize*8)
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	for i := range p.leaves {
+		p.leaves[i] = nil
+	}
+	for i := 0; i < n; i++ {
+		li := dec.U64()
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		if li >= uint64(len(p.leaves)) {
+			return fmt.Errorf("%w: translation leaf %d beyond directory of %d",
+				ckpt.ErrCorrupt, li, len(p.leaves))
+		}
+		l := make([]uint64, identLeafSize)
+		for j := range l {
+			l[j] = dec.U64()
+		}
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		p.leaves[li] = l
+	}
+	return nil
+}
+
+// SaveState serializes the translation tables (forward then reverse).
+func (t *Translator) SaveState(enc *ckpt.Enc) {
+	t.fwd.saveState(enc)
+	t.rev.saveState(enc)
+}
+
+// LoadState restores translation tables captured by SaveState.
+func (t *Translator) LoadState(dec *ckpt.Dec) error {
+	if err := t.fwd.loadState(dec); err != nil {
+		return err
+	}
+	return t.rev.loadState(dec)
+}
+
+// SaveState serializes the wear-leveler: partner-selection RNG, busy windows
+// sorted by block, migration count, and the recorded migration events.
+func (w *WearLeveler) SaveState(enc *ckpt.Enc) {
+	w.rng.SaveState(enc)
+	blocks := make([]uint64, 0, len(w.busyUntil))
+	for b := range w.busyUntil {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	enc.U32(uint32(len(blocks)))
+	for _, b := range blocks {
+		enc.U64(b)
+		enc.U64(uint64(w.busyUntil[b]))
+	}
+	enc.U64(w.migrations)
+	enc.U32(uint32(len(w.events)))
+	for _, ev := range w.events {
+		enc.U64(uint64(ev.At))
+		enc.U64(ev.Block)
+		enc.U64(ev.Partner)
+		enc.U64(ev.TriggerCPU)
+	}
+}
+
+// LoadState restores a wear-leveler captured by SaveState.
+func (w *WearLeveler) LoadState(dec *ckpt.Dec) error {
+	w.rng.LoadState(dec)
+	n := dec.Count(16)
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	clear(w.busyUntil)
+	for i := 0; i < n; i++ {
+		b := dec.U64()
+		until := sim.Cycle(dec.U64())
+		w.busyUntil[b] = until
+	}
+	w.migrations = dec.U64()
+	ne := dec.Count(32)
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	w.events = w.events[:0]
+	for i := 0; i < ne; i++ {
+		w.events = append(w.events, MigrationEvent{
+			At:         sim.Cycle(dec.U64()),
+			Block:      dec.U64(),
+			Partner:    dec.U64(),
+			TriggerCPU: dec.U64(),
+		})
+	}
+	return dec.Err()
+}
+
+// SaveState serializes one DIMM and all its children. Field order: raw stats
+// counters, RMW port reservation, drain/flush flags, in-flight counters,
+// then LSQ, RMW buffer, AIT buffer, translator, wear-leveler, media, and
+// the on-DIMM DRAM controller.
+//
+// The optional Lazy-cache and pre-translation optimizations and a live fault
+// injector are rejected: their state is not part of the snapshot format, and
+// the plan validator keeps them off checkpointed jobs.
+func (d *DIMM) SaveState(enc *ckpt.Enc) error {
+	if d.lazy != nil || d.pretrans != nil {
+		return fmt.Errorf("ckpt: DIMM with lazy-cache/pre-translation optimizations cannot be checkpointed")
+	}
+	if d.inj != nil {
+		return fmt.Errorf("ckpt: DIMM with a fault injector cannot be checkpointed")
+	}
+	enc.U64(d.stats.ClientReads)
+	enc.U64(d.stats.ClientWrites)
+	enc.U64(d.stats.LSQForwards)
+	enc.U64(d.stats.LSQStalls)
+	enc.U64(d.stats.PartialRMW)
+	enc.U64(d.stats.TableReads)
+	enc.U64(d.stats.MediaStalls)
+	enc.U64(d.stats.MediaPoison)
+	enc.U64(d.stats.FaultStalls)
+	enc.U64(uint64(d.rmwFree))
+	enc.Bool(d.draining)
+	enc.U64(uint64(d.flushing))
+	enc.U64(uint64(d.readsInFlight))
+	enc.U64(uint64(d.writesInFlight))
+	enc.U64(uint64(d.mediaInFlight))
+	d.lsq.SaveState(enc)
+	d.rmw.SaveState(enc)
+	d.buf.SaveState(enc)
+	d.trans.SaveState(enc)
+	d.wear.SaveState(enc)
+	d.med.SaveState(enc)
+	return d.dramC.SaveState(enc)
+}
+
+// LoadState restores a DIMM captured by SaveState into a freshly built DIMM
+// with the same configuration.
+func (d *DIMM) LoadState(dec *ckpt.Dec) error {
+	if d.lazy != nil || d.pretrans != nil {
+		return fmt.Errorf("ckpt: DIMM with lazy-cache/pre-translation optimizations cannot be restored into")
+	}
+	if d.inj != nil {
+		return fmt.Errorf("ckpt: DIMM with a fault injector cannot be restored into")
+	}
+	d.stats.ClientReads = dec.U64()
+	d.stats.ClientWrites = dec.U64()
+	d.stats.LSQForwards = dec.U64()
+	d.stats.LSQStalls = dec.U64()
+	d.stats.PartialRMW = dec.U64()
+	d.stats.TableReads = dec.U64()
+	d.stats.MediaStalls = dec.U64()
+	d.stats.MediaPoison = dec.U64()
+	d.stats.FaultStalls = dec.U64()
+	d.rmwFree = sim.Cycle(dec.U64())
+	d.draining = dec.Bool()
+	d.flushing = int(dec.U64())
+	d.readsInFlight = int(dec.U64())
+	d.writesInFlight = int(dec.U64())
+	d.mediaInFlight = int(dec.U64())
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if err := d.lsq.LoadState(dec); err != nil {
+		return err
+	}
+	if err := d.rmw.LoadState(dec); err != nil {
+		return err
+	}
+	if err := d.buf.LoadState(dec); err != nil {
+		return err
+	}
+	if err := d.trans.LoadState(dec); err != nil {
+		return err
+	}
+	if err := d.wear.LoadState(dec); err != nil {
+		return err
+	}
+	if err := d.med.LoadState(dec); err != nil {
+		return err
+	}
+	return d.dramC.LoadState(dec)
+}

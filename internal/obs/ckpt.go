@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"fmt"
+
+	"repro/internal/ckpt"
+)
+
+// SaveState serializes the histogram's mutable sample state. Field order:
+// bucket count, counts[], count, sum, min, max. Bounds are configuration
+// (rebuilt by the owning component), not state, so they are asserted on
+// load rather than carried.
+func (h *Histogram) SaveState(enc *ckpt.Enc) {
+	if h == nil {
+		enc.U32(0)
+		return
+	}
+	enc.U32(uint32(len(h.counts)))
+	for _, c := range h.counts {
+		enc.U64(c)
+	}
+	enc.U64(h.count)
+	enc.U64(h.sum)
+	enc.U64(h.min)
+	enc.U64(h.max)
+}
+
+// LoadState restores sample state captured by SaveState into a histogram
+// with the same bucket layout.
+func (h *Histogram) LoadState(dec *ckpt.Dec) error {
+	n := dec.Count(8)
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if h == nil {
+		if n != 0 {
+			return fmt.Errorf("%w: snapshot has %d histogram buckets, restoring into none", ckpt.ErrCorrupt, n)
+		}
+		return nil
+	}
+	if n != len(h.counts) {
+		return fmt.Errorf("%w: snapshot has %d histogram buckets, this histogram %d",
+			ckpt.ErrCorrupt, n, len(h.counts))
+	}
+	for i := range h.counts {
+		h.counts[i] = dec.U64()
+	}
+	h.count = dec.U64()
+	h.sum = dec.U64()
+	h.min = dec.U64()
+	h.max = dec.U64()
+	return dec.Err()
+}

@@ -71,3 +71,16 @@ func (c *resultCache) Len() int {
 
 // Cap returns the configured capacity (0 when caching is disabled).
 func (c *resultCache) Cap() int { return c.cap }
+
+// Entries returns (hash, result) pairs ordered least recently used first, so
+// replaying them through Put reproduces the LRU order. Used to persist the
+// cache across daemon restarts.
+func (c *resultCache) Entries() []cacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]cacheEntry, 0, c.ll.Len())
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		out = append(out, *el.Value.(*cacheEntry))
+	}
+	return out
+}

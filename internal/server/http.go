@@ -12,6 +12,7 @@ import (
 //	GET  /v1/jobs/{id}       job status
 //	GET  /v1/jobs/{id}/result  result of a completed job
 //	GET  /v1/jobs/{id}/trace   NDJSON lifecycle trace of a traced job
+//	GET  /v1/jobs/{id}/checkpoint  latest durable snapshot of a preempted job
 //	GET  /v1/healthz         liveness + drain state
 //	GET  /v1/metrics         expvar-style service metrics
 //	GET  /v1/metrics/prom    Prometheus text exposition format
@@ -22,6 +23,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/metrics/prom", s.handleMetricsProm)
@@ -167,6 +169,27 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.WritePrometheus(w)
+}
+
+// handleCheckpoint serves the latest durable snapshot of a job that was
+// preempted mid-run (sealed binary, stamped with the job hash). A client can
+// carry it to any other nvmserved node — PutCheckpoint there, resubmit the
+// same spec — and the job resumes from the last barrier.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	_, st, ok := s.Result(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	snap, ok := s.CheckpointBytes(st.Hash)
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			errors.New("no checkpoint for this job (finished, never snapshotted, or no state dir)"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(snap)
 }
 
 // handleTrace streams a traced job's lifecycle as NDJSON (one stage event per

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/ckpt"
 	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/trace"
@@ -42,6 +43,20 @@ type JobSpec struct {
 	// by GET /v1/jobs/{id}/trace. Part of the canonical hash so traced and
 	// untraced runs cache separately (the trace stays retrievable).
 	Trace bool `json:"trace,omitempty"`
+	// CkptEvery inserts a checkpoint barrier every CkptEvery accesses: the
+	// driver drains its window and runs the engine to quiescence so the whole
+	// system can serialize from an idle cut. Barriers perturb timing, so the
+	// knob is part of the canonical hash — a resumed run and a straight run
+	// of the same plan execute identical barriers and produce byte-identical
+	// results. Zero disables checkpointing. Incompatible with trace capture
+	// and fault injection.
+	CkptEvery int `json:"ckpt_every,omitempty"`
+	// Warmup optionally prepends a warmup workload to the main stream with a
+	// forced checkpoint barrier at the boundary. Sweeps whose points share a
+	// warmup run the shared prefix once: the barrier snapshot is cached by
+	// the warm hash (config + warmup + window + seed) and every later point
+	// forks from it. Incompatible with fault injection.
+	Warmup *WorkloadSpec `json:"warmup,omitempty"`
 }
 
 // ConfigSpec selects the simulated system.
@@ -95,33 +110,96 @@ const (
 )
 
 // hashVersion re-keys the cache whenever the plan layout or runner semantics
-// change incompatibly. v3: the plan gained capture_trace and results gained
-// the observability dump.
-const hashVersion = "nvmserved/3:"
+// change incompatibly. v4: the plan gained checkpoint barriers (ckpt_every)
+// and warm-start prefixes, and the tag carries the snapshot format version —
+// a snapshot from one format can never masquerade as resumable state for a
+// job hashed under another.
+var hashVersion = fmt.Sprintf("nvmserved/4:ckpt%d:", ckpt.FormatVersion)
+
+// WorkloadPlan is the validated, fully defaulted form of one WorkloadSpec.
+// The main workload stays flattened into Plan (stable field layout); the
+// warmup prefix, when present, nests as one of these.
+type WorkloadPlan struct {
+	Kind         string `json:"kind"`
+	Region       uint64 `json:"region"`
+	MaxSteps     int    `json:"max_steps"`
+	Bytes        uint64 `json:"bytes"`
+	Op           string `json:"op"`
+	Trace        string `json:"trace"`
+	Name         string `json:"name"`
+	Instructions int    `json:"instructions"`
+	Footprint    uint64 `json:"footprint"`
+}
 
 // Plan is the validated, fully defaulted form of a JobSpec: every size
 // parsed, every default applied. Hashing and execution both work from the
 // Plan, so the cache key covers exactly what the runner sees.
 type Plan struct {
-	DIMMs        int        `json:"dimms"`
-	Interleaved  bool       `json:"interleaved"`
-	Mode         string     `json:"mode"`
-	MediaBytes   uint64     `json:"media_bytes"`
-	DRAMCache    uint64     `json:"dram_cache"`
-	CfgSeed      uint64     `json:"cfg_seed"`
-	Kind         string     `json:"kind"`
-	Region       uint64     `json:"region"`
-	MaxSteps     int        `json:"max_steps"`
-	Bytes        uint64     `json:"bytes"`
-	Op           string     `json:"op"`
-	Trace        string     `json:"trace"`
-	Name         string     `json:"name"`
-	Instructions int        `json:"instructions"`
-	Footprint    uint64     `json:"footprint"`
-	Window       int        `json:"window"`
-	Seed         uint64     `json:"seed"`
-	Fault        fault.Spec `json:"fault"`
-	CaptureTrace bool       `json:"capture_trace"`
+	DIMMs        int           `json:"dimms"`
+	Interleaved  bool          `json:"interleaved"`
+	Mode         string        `json:"mode"`
+	MediaBytes   uint64        `json:"media_bytes"`
+	DRAMCache    uint64        `json:"dram_cache"`
+	CfgSeed      uint64        `json:"cfg_seed"`
+	Kind         string        `json:"kind"`
+	Region       uint64        `json:"region"`
+	MaxSteps     int           `json:"max_steps"`
+	Bytes        uint64        `json:"bytes"`
+	Op           string        `json:"op"`
+	Trace        string        `json:"trace"`
+	Name         string        `json:"name"`
+	Instructions int           `json:"instructions"`
+	Footprint    uint64        `json:"footprint"`
+	Window       int           `json:"window"`
+	Seed         uint64        `json:"seed"`
+	Fault        fault.Spec    `json:"fault"`
+	CaptureTrace bool          `json:"capture_trace"`
+	CkptEvery    int           `json:"ckpt_every"`
+	Warmup       *WorkloadPlan `json:"warmup,omitempty"`
+}
+
+// mainWorkload returns the flattened main workload as a WorkloadPlan.
+func (p *Plan) mainWorkload() WorkloadPlan {
+	return WorkloadPlan{Kind: p.Kind, Region: p.Region, MaxSteps: p.MaxSteps,
+		Bytes: p.Bytes, Op: p.Op, Trace: p.Trace, Name: p.Name,
+		Instructions: p.Instructions, Footprint: p.Footprint}
+}
+
+// effectiveWindow is the outstanding-request window the replay actually
+// uses: a chase main workload forces a dependent chain (window 1).
+func (p *Plan) effectiveWindow() int {
+	if p.Kind == KindChase {
+		return 1
+	}
+	return p.Window
+}
+
+// WarmPlan reduces the plan to what the warm-start prefix depends on: the
+// same configuration, seed, effective window, and barrier spacing, with the
+// warmup workload promoted to the main slot. Two jobs with equal WarmPlans
+// reach byte-identical state at the warmup barrier regardless of their main
+// workloads, which is what makes the warm-snapshot cache sound.
+func (p *Plan) WarmPlan() *Plan {
+	if p.Warmup == nil {
+		return nil
+	}
+	wp := *p
+	w := *p.Warmup
+	wp.Kind, wp.Region, wp.MaxSteps = w.Kind, w.Region, w.MaxSteps
+	wp.Bytes, wp.Op, wp.Trace = w.Bytes, w.Op, w.Trace
+	wp.Name, wp.Instructions, wp.Footprint = w.Name, w.Instructions, w.Footprint
+	wp.Window = p.effectiveWindow()
+	wp.Warmup = nil
+	return &wp
+}
+
+// WarmHash is the canonical hash of the warm-start prefix (see WarmPlan).
+func (p *Plan) WarmHash() string {
+	wp := p.WarmPlan()
+	if wp == nil {
+		return ""
+	}
+	return wp.Hash()
 }
 
 // Hash returns the canonical job hash: SHA-256 over a version tag plus the
@@ -225,31 +303,68 @@ func (s JobSpec) Compile() (*Plan, error) {
 		}
 	}
 
-	w := s.Workload
+	wp, err := compileWorkload(s.Workload, "workload")
+	if err != nil {
+		return nil, err
+	}
+	p.Kind, p.Region, p.MaxSteps = wp.Kind, wp.Region, wp.MaxSteps
+	p.Bytes, p.Op, p.Trace = wp.Bytes, wp.Op, wp.Trace
+	p.Name, p.Instructions, p.Footprint = wp.Name, wp.Instructions, wp.Footprint
+
+	p.CkptEvery = s.CkptEvery
+	if p.CkptEvery < 0 {
+		return nil, fmt.Errorf("ckpt_every %d: must be non-negative", p.CkptEvery)
+	}
+	if s.Warmup != nil {
+		warm, err := compileWorkload(*s.Warmup, "warmup")
+		if err != nil {
+			return nil, err
+		}
+		p.Warmup = &warm
+	}
+	if p.CkptEvery > 0 && p.CaptureTrace {
+		return nil, fmt.Errorf("ckpt_every: incompatible with trace capture (the lifecycle tracer has no serial form)")
+	}
+	if p.Fault.Enabled() {
+		if p.CkptEvery > 0 {
+			return nil, fmt.Errorf("ckpt_every: incompatible with fault injection (injector streams are attempt-scoped)")
+		}
+		if p.Warmup != nil {
+			return nil, fmt.Errorf("warmup: incompatible with fault injection")
+		}
+	}
+	return p, nil
+}
+
+// compileWorkload validates one workload spec; field is the error prefix
+// ("workload" or "warmup").
+func compileWorkload(w WorkloadSpec, field string) (WorkloadPlan, error) {
+	var p WorkloadPlan
+	var err error
 	p.Kind = strings.ToLower(w.Kind)
 	switch p.Kind {
 	case KindChase:
 		if p.Region, err = units.ParseBytesDefault(w.Region, 1<<20); err != nil {
-			return nil, fmt.Errorf("workload.region: %v", err)
+			return p, fmt.Errorf("%s.region: %v", field, err)
 		}
 		if p.Region < 2*mem.CacheLine || p.Region > maxRegionBytes {
-			return nil, fmt.Errorf("workload.region %d out of range [%d,%d]",
-				p.Region, 2*mem.CacheLine, maxRegionBytes)
+			return p, fmt.Errorf("%s.region %d out of range [%d,%d]",
+				field, p.Region, 2*mem.CacheLine, maxRegionBytes)
 		}
 		p.MaxSteps = w.MaxSteps
 		if p.MaxSteps == 0 {
 			p.MaxSteps = 200000
 		}
 		if p.MaxSteps < 1 || p.MaxSteps > maxChaseSteps {
-			return nil, fmt.Errorf("workload.max_steps %d out of range [1,%d]", p.MaxSteps, maxChaseSteps)
+			return p, fmt.Errorf("%s.max_steps %d out of range [1,%d]", field, p.MaxSteps, maxChaseSteps)
 		}
 	case KindSeq:
 		if p.Bytes, err = units.ParseBytesDefault(w.Bytes, 1<<20); err != nil {
-			return nil, fmt.Errorf("workload.bytes: %v", err)
+			return p, fmt.Errorf("%s.bytes: %v", field, err)
 		}
 		if p.Bytes < mem.CacheLine || p.Bytes > maxSeqBytes {
-			return nil, fmt.Errorf("workload.bytes %d out of range [%d,%d]",
-				p.Bytes, mem.CacheLine, maxSeqBytes)
+			return p, fmt.Errorf("%s.bytes %d out of range [%d,%d]",
+				field, p.Bytes, mem.CacheLine, maxSeqBytes)
 		}
 		switch w.Op {
 		case "":
@@ -257,43 +372,43 @@ func (s JobSpec) Compile() (*Plan, error) {
 		case "load", "store", "store-nt":
 			p.Op = w.Op
 		default:
-			return nil, fmt.Errorf("workload.op %q: want load, store, or store-nt", w.Op)
+			return p, fmt.Errorf("%s.op %q: want load, store, or store-nt", field, w.Op)
 		}
 	case KindTrace:
 		if strings.TrimSpace(w.Trace) == "" {
-			return nil, fmt.Errorf("workload.trace: empty trace")
+			return p, fmt.Errorf("%s.trace: empty trace", field)
 		}
 		if len(w.Trace) > maxTraceBytes {
-			return nil, fmt.Errorf("workload.trace: %d bytes exceeds limit %d", len(w.Trace), maxTraceBytes)
+			return p, fmt.Errorf("%s.trace: %d bytes exceeds limit %d", field, len(w.Trace), maxTraceBytes)
 		}
 		if _, err := trace.ReadAccesses(strings.NewReader(w.Trace)); err != nil {
-			return nil, fmt.Errorf("workload.trace: %v", err)
+			return p, fmt.Errorf("%s.trace: %v", field, err)
 		}
 		p.Trace = w.Trace
 	case KindCloud:
 		p.Name = w.Name
 		if _, isSPEC := workload.SPECBenchByName(p.Name); !isSPEC && !isCloudName(p.Name) {
-			return nil, fmt.Errorf("workload.name %q: want one of %s or a SPEC bench",
-				p.Name, strings.Join(workload.CloudNames(), ", "))
+			return p, fmt.Errorf("%s.name %q: want one of %s or a SPEC bench",
+				field, p.Name, strings.Join(workload.CloudNames(), ", "))
 		}
 		p.Instructions = w.Instructions
 		if p.Instructions == 0 {
 			p.Instructions = 50000
 		}
 		if p.Instructions < 1 || p.Instructions > maxInstructions {
-			return nil, fmt.Errorf("workload.instructions %d out of range [1,%d]", p.Instructions, maxInstructions)
+			return p, fmt.Errorf("%s.instructions %d out of range [1,%d]", field, p.Instructions, maxInstructions)
 		}
 		if p.Footprint, err = units.ParseBytesDefault(w.Footprint, 16<<20); err != nil {
-			return nil, fmt.Errorf("workload.footprint: %v", err)
+			return p, fmt.Errorf("%s.footprint: %v", field, err)
 		}
 		if p.Footprint < 1<<10 || p.Footprint > maxRegionBytes {
-			return nil, fmt.Errorf("workload.footprint %d out of range [%d,%d]",
-				p.Footprint, 1<<10, maxRegionBytes)
+			return p, fmt.Errorf("%s.footprint %d out of range [%d,%d]",
+				field, p.Footprint, 1<<10, maxRegionBytes)
 		}
 	case "":
-		return nil, fmt.Errorf("workload.kind: required (chase, seq, trace, or cloud)")
+		return p, fmt.Errorf("%s.kind: required (chase, seq, trace, or cloud)", field)
 	default:
-		return nil, fmt.Errorf("workload.kind %q: want chase, seq, trace, or cloud", w.Kind)
+		return p, fmt.Errorf("%s.kind %q: want chase, seq, trace, or cloud", field, w.Kind)
 	}
 	return p, nil
 }

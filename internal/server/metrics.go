@@ -24,6 +24,9 @@ type Metrics struct {
 	retries          uint64
 	panics           uint64
 	peerFilled       uint64
+	resumed          uint64
+	warmStarted      uint64
+	ckptSaves        uint64
 	workersReplaced  uint64
 	cacheHits        uint64
 	cacheMisses      uint64
@@ -75,6 +78,18 @@ func (m *Metrics) rejectDraining() { m.add(&m.rejectedDraining) }
 func (m *Metrics) rejectBreaker()  { m.add(&m.rejectedBreaker) }
 func (m *Metrics) cacheMiss()      { m.add(&m.cacheMisses) }
 func (m *Metrics) jobPeerFilled()  { m.add(&m.peerFilled) }
+func (m *Metrics) jobResumed()     { m.add(&m.resumed) }
+func (m *Metrics) jobWarmStarted() { m.add(&m.warmStarted) }
+
+// ckptSaved records n snapshot saves from one job run.
+func (m *Metrics) ckptSaved(n int) {
+	if n <= 0 {
+		return
+	}
+	m.mu.Lock()
+	m.ckptSaves += uint64(n)
+	m.mu.Unlock()
+}
 
 // cacheHit records a submission served entirely from the cache.
 func (m *Metrics) cacheHit() {
@@ -155,6 +170,9 @@ type MetricsSnapshot struct {
 	JobRetries        uint64      `json:"job_retries"`
 	JobPanics         uint64      `json:"job_panics"`
 	JobsPeerFilled    uint64      `json:"jobs_peer_filled"`
+	JobsResumed       uint64      `json:"jobs_resumed"`
+	JobsWarmStarted   uint64      `json:"jobs_warm_started"`
+	CkptSaves         uint64      `json:"ckpt_saves"`
 	WorkersReplaced   uint64      `json:"workers_replaced"`
 	BreakerState      string      `json:"breaker_state"`
 	BreakerOpens      uint64      `json:"breaker_opens"`
@@ -188,6 +206,9 @@ func (m *Metrics) snapshot(workers, workersBusy, queueDepth, queueCap, cacheLen 
 		JobRetries:        m.retries,
 		JobPanics:         m.panics,
 		JobsPeerFilled:    m.peerFilled,
+		JobsResumed:       m.resumed,
+		JobsWarmStarted:   m.warmStarted,
+		CkptSaves:         m.ckptSaves,
 		WorkersReplaced:   m.workersReplaced,
 		CacheHits:         m.cacheHits,
 		CacheMisses:       m.cacheMisses,

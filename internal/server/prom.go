@@ -54,6 +54,9 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 	counter("nvmserved_rejected_breaker_total", "Submissions rejected by the open circuit breaker.", snap.RejectedBreaker)
 	counter("nvmserved_job_retries_total", "Retry attempts after transient faults.", snap.JobRetries)
 	counter("nvmserved_jobs_peer_filled_total", "Jobs satisfied by a peer cache fill instead of a local run.", snap.JobsPeerFilled)
+	counter("nvmserved_jobs_resumed_total", "Jobs resumed from a durable checkpoint instead of restarting.", snap.JobsResumed)
+	counter("nvmserved_jobs_warm_started_total", "Jobs forked from a cached warm-start snapshot.", snap.JobsWarmStarted)
+	counter("nvmserved_ckpt_saves_total", "Checkpoint snapshots written at barrier cuts.", snap.CkptSaves)
 	counter("nvmserved_job_panics_total", "Jobs that panicked.", snap.JobPanics)
 	counter("nvmserved_workers_replaced_total", "Worker goroutines replaced after a panic.", snap.WorkersReplaced)
 	counter("nvmserved_breaker_opens_total", "Times the circuit breaker opened.", snap.BreakerOpens)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/ckpt"
 	"repro/internal/cpu"
 	"repro/internal/dram"
 	"repro/internal/fault"
@@ -93,6 +94,88 @@ func (rn *Runner) Run(ctx context.Context, p *Plan) (*Result, error) {
 // feeds the fault injector: transient faults fire only on attempt 0, so a
 // retried job deterministically succeeds while permanent faults recur.
 func (rn *Runner) RunAttempt(ctx context.Context, p *Plan, attempt int) (*Result, error) {
+	return rn.RunAttemptCkpt(ctx, p, attempt, nil)
+}
+
+// CkptIO wires one run attempt to checkpoint storage. All fields are
+// optional; a nil *CkptIO (or the zero value) runs without snapshot I/O —
+// though barriers implied by the plan (ckpt_every, warmup) still execute, so
+// the result is byte-identical either way.
+type CkptIO struct {
+	// Resume, when non-nil, is a sealed job snapshot (stamped with the
+	// plan's hash) the run restores before issuing anything.
+	Resume []byte
+	// WarmStart, when non-nil, is a sealed warm snapshot (stamped with the
+	// plan's WarmHash) that replaces executing the warmup prefix.
+	WarmStart []byte
+	// Sink receives the sealed job snapshot captured at each barrier.
+	// Returning an error aborts the run.
+	Sink func(idx int, snap []byte) error
+	// WarmSink receives the sealed warm snapshot captured at the warmup
+	// boundary (plans with a warmup only).
+	WarmSink func(snap []byte)
+
+	// ResumedFrom reports the access index the run restarted at (0 when it
+	// ran from the beginning). WarmStarted reports that the warmup prefix
+	// was skipped via WarmStart. Saves counts snapshots handed to Sink.
+	ResumedFrom int
+	WarmStarted bool
+	Saves       int
+}
+
+// encodeSnapshot seals the full run state at an idle barrier: a stamp tying
+// the snapshot to its plan, the cut's access index, the total access count,
+// then driver and system state. The stamp is the job hash for job snapshots
+// and the WarmHash for warm snapshots.
+func encodeSnapshot(stamp string, idx, total int, d *mem.Driver, sys *vans.System) ([]byte, error) {
+	var enc ckpt.Enc
+	enc.String(stamp)
+	enc.U64(uint64(idx))
+	enc.U64(uint64(total))
+	if err := d.SaveState(&enc); err != nil {
+		return nil, err
+	}
+	if err := sys.SaveState(&enc); err != nil {
+		return nil, err
+	}
+	return ckpt.Seal(enc.Bytes()), nil
+}
+
+// decodeSnapshot restores driver and system state from a sealed snapshot,
+// returning the cut index and total access count recorded at capture.
+func decodeSnapshot(stamp string, snap []byte, d *mem.Driver, sys *vans.System) (idx, total int, err error) {
+	payload, err := ckpt.Open(snap)
+	if err != nil {
+		return 0, 0, err
+	}
+	dec := ckpt.NewDec(payload)
+	got := dec.String()
+	if err := dec.Err(); err != nil {
+		return 0, 0, err
+	}
+	if got != stamp {
+		return 0, 0, fmt.Errorf("ckpt: snapshot stamped %q does not match plan %q", got, stamp)
+	}
+	idx = int(dec.U64())
+	total = int(dec.U64())
+	if err := d.LoadState(dec); err != nil {
+		return 0, 0, err
+	}
+	if err := sys.LoadState(dec); err != nil {
+		return 0, 0, err
+	}
+	if err := dec.Close(); err != nil {
+		return 0, 0, err
+	}
+	return idx, total, nil
+}
+
+// RunAttemptCkpt is RunAttempt with checkpoint I/O. The access stream is the
+// warmup prefix (when the plan has one) followed by the main workload; a
+// forced barrier sits at the boundary, periodic barriers every CkptEvery
+// accesses. Snapshots restore only into the exact plan (and snapshot format
+// version) that produced them — the stamp check enforces it.
+func (rn *Runner) RunAttemptCkpt(ctx context.Context, p *Plan, attempt int, io *CkptIO) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -106,6 +189,19 @@ func (rn *Runner) RunAttempt(ctx context.Context, p *Plan, attempt int) (*Result
 	if len(accs) == 0 {
 		return nil, fmt.Errorf("server: workload produced no accesses")
 	}
+	var warmLen int
+	if p.Warmup != nil {
+		warmAccs, _, err := buildWorkloadAccesses(*p.Warmup, p.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("warmup: %v", err)
+		}
+		if len(warmAccs) == 0 {
+			return nil, fmt.Errorf("server: warmup produced no accesses")
+		}
+		warmLen = len(warmAccs)
+		accs = append(warmAccs[:warmLen:warmLen], accs...)
+	}
+	W := warmLen
 
 	if p.Fault.PowerFailCycle > 0 {
 		return rn.runPowerFail(p, accs, window)
@@ -126,6 +222,55 @@ func (rn *Runner) RunAttempt(ctx context.Context, p *Plan, attempt int) (*Result
 	sys := vans.New(cfg)
 	d := mem.NewDriver(sys)
 	d.SetObs(o)
+	if p.CkptEvery > 0 || W > 0 {
+		pol := &mem.CkptPolicy{Every: p.CkptEvery, ForcedAt: W}
+		switch {
+		case io != nil && io.Resume != nil:
+			idx, total, err := decodeSnapshot(p.Hash(), io.Resume, d, sys)
+			if err != nil {
+				return nil, fmt.Errorf("ckpt: restoring job snapshot: %w", err)
+			}
+			if total != len(accs) || idx < 1 || idx >= len(accs) {
+				return nil, fmt.Errorf("%w: snapshot cut %d/%d does not fit plan with %d accesses",
+					ckpt.ErrCorrupt, idx, total, len(accs))
+			}
+			pol.StartIndex = idx
+			io.ResumedFrom = idx
+		case io != nil && io.WarmStart != nil && W > 0:
+			idx, total, err := decodeSnapshot(p.WarmHash(), io.WarmStart, d, sys)
+			if err != nil {
+				return nil, fmt.Errorf("ckpt: restoring warm snapshot: %w", err)
+			}
+			if idx != W || total != W {
+				return nil, fmt.Errorf("%w: warm snapshot cut %d/%d, want %d/%d",
+					ckpt.ErrCorrupt, idx, total, W, W)
+			}
+			pol.StartIndex = W
+			io.WarmStarted = true
+		}
+		if io != nil && (io.Sink != nil || io.WarmSink != nil) {
+			total := len(accs)
+			pol.Sink = func(i int) error {
+				if i == W && W > 0 && io.WarmSink != nil {
+					snap, err := encodeSnapshot(p.WarmHash(), W, W, d, sys)
+					if err != nil {
+						return err
+					}
+					io.WarmSink(snap)
+				}
+				if io.Sink == nil {
+					return nil
+				}
+				snap, err := encodeSnapshot(p.Hash(), i, total, d, sys)
+				if err != nil {
+					return err
+				}
+				io.Saves++
+				return io.Sink(i, snap)
+			}
+		}
+		d.SetCkpt(pol)
+	}
 	every := rn.checkEvery
 	if every == 0 {
 		every = 1024
@@ -146,6 +291,9 @@ func (rn *Runner) RunAttempt(ctx context.Context, p *Plan, attempt int) (*Result
 	}
 	elapsed, ok := d.RunWindowChecked(accs, window, keepGoing)
 	if !ok {
+		if cerr := d.CkptErr(); cerr != nil {
+			return nil, fmt.Errorf("ckpt: snapshot sink failed: %w", cerr)
+		}
 		return nil, ctx.Err()
 	}
 	fenceStart := sys.Engine().Now()
@@ -212,24 +360,39 @@ func RunSpec(ctx context.Context, spec JobSpec) (*Result, error) {
 	return NewRunner().Run(ctx, p)
 }
 
-// buildAccesses materializes the plan's access stream and the replay window.
+// buildAccesses materializes the plan's main access stream and the replay
+// window.
 func buildAccesses(p *Plan) ([]mem.Access, int, error) {
-	switch p.Kind {
+	accs, window, err := buildWorkloadAccesses(p.mainWorkload(), p.Seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	if window == 0 {
+		window = p.Window
+	}
+	return accs, window, nil
+}
+
+// buildWorkloadAccesses materializes one workload's access stream. The
+// returned window is 1 when the workload forces a dependent chain (chase)
+// and 0 when the plan's window applies.
+func buildWorkloadAccesses(w WorkloadPlan, seed uint64) ([]mem.Access, int, error) {
+	switch w.Kind {
 	case KindChase:
 		// A chase is a dependent chain: window forced to 1.
-		return workload.ChaseAccesses(p.Region, p.MaxSteps, p.Seed), 1, nil
+		return workload.ChaseAccesses(w.Region, w.MaxSteps, seed), 1, nil
 	case KindSeq:
-		return workload.SeqAccesses(p.Bytes, seqOp(p.Op)), p.Window, nil
+		return workload.SeqAccesses(w.Bytes, seqOp(w.Op)), 0, nil
 	case KindTrace:
-		accs, err := trace.ReadAccesses(strings.NewReader(p.Trace))
+		accs, err := trace.ReadAccesses(strings.NewReader(w.Trace))
 		if err != nil {
 			return nil, 0, err
 		}
-		return accs, p.Window, nil
+		return accs, 0, nil
 	case KindCloud:
-		return captureCloud(p), p.Window, nil
+		return captureCloud(w, seed), 0, nil
 	default:
-		return nil, 0, fmt.Errorf("server: unknown workload kind %q", p.Kind)
+		return nil, 0, fmt.Errorf("server: unknown workload kind %q", w.Kind)
 	}
 }
 
@@ -247,21 +410,21 @@ func seqOp(name string) mem.Op {
 // captureCloud replays a named workload through the CPU substrate over a
 // capture system, recording the post-cache memory trace (the tracegen flow),
 // and returns it as a driver stream for the job's own system.
-func captureCloud(p *Plan) []mem.Access {
+func captureCloud(wp WorkloadPlan, seed uint64) []mem.Access {
 	capCfg := vans.DefaultConfig()
 	capCfg.NV.Media.Capacity = 256 << 20
 	col := trace.NewCollector(vans.New(capCfg))
 	core := cpu.New(cpu.DefaultConfig(), col)
 
 	var w cpu.Workload
-	if b, ok := workload.SPECBenchByName(p.Name); ok {
-		b.FootprintMB = float64(p.Footprint) / (1 << 20)
-		w = workload.SPEC(b, p.Instructions, p.Seed)
+	if b, ok := workload.SPECBenchByName(wp.Name); ok {
+		b.FootprintMB = float64(wp.Footprint) / (1 << 20)
+		w = workload.SPEC(b, wp.Instructions, seed)
 	} else {
-		w = workload.Cloud(p.Name, workload.CloudOptions{
-			Instructions: p.Instructions,
-			Seed:         p.Seed,
-			Footprint:    p.Footprint,
+		w = workload.Cloud(wp.Name, workload.CloudOptions{
+			Instructions: wp.Instructions,
+			Seed:         seed,
+			Footprint:    wp.Footprint,
 		})
 	}
 	core.Run(w)

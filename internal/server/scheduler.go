@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/breaker"
+	"repro/internal/ckpt"
 	"repro/internal/fault"
 )
 
@@ -44,19 +46,26 @@ const (
 // Job is one tracked submission. Mutable fields are guarded by the server's
 // registry lock; read them through Status / Result / Wait.
 type Job struct {
-	id        string
-	hash      string
-	plan      *Plan
-	state     JobState
-	err       string
-	cached    bool
-	peer      bool // satisfied by a peer cache fill, not a local run
-	noFill    bool // dispatch traffic: never consult the fill hook
-	result    *Result
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
-	done      chan struct{}
+	id     string
+	hash   string
+	plan   *Plan
+	state  JobState
+	err    string
+	cached bool
+	peer   bool // satisfied by a peer cache fill, not a local run
+	noFill bool // dispatch traffic: never consult the fill hook
+	result *Result
+	// resumedFrom is the access index the run restarted at after a restore
+	// (0 = ran from the beginning); checkpoints counts snapshots persisted
+	// during the run; warmStarted marks a run that skipped its warmup prefix
+	// via a cached warm snapshot.
+	resumedFrom int
+	checkpoints int
+	warmStarted bool
+	submitted   time.Time
+	started     time.Time
+	finished    time.Time
+	done        chan struct{}
 	// ctx, when non-nil, cancels the job if the submitter goes away while it
 	// is still queued or running (sweep clients disconnecting mid-stream,
 	// hedged cluster dispatches losing the race).
@@ -71,10 +80,18 @@ type JobStatus struct {
 	Cached bool     `json:"cached,omitempty"`
 	// PeerFilled marks a job whose result was fetched from the owning
 	// cluster peer's cache instead of being simulated locally.
-	PeerFilled bool    `json:"peer_filled,omitempty"`
-	Error      string  `json:"error,omitempty"`
-	QueuedMs   float64 `json:"queued_ms"`
-	RunMs      float64 `json:"run_ms"`
+	PeerFilled bool   `json:"peer_filled,omitempty"`
+	Error      string `json:"error,omitempty"`
+	// ResumedFrom is the access index a restored run restarted at (absent
+	// when the job ran from the beginning).
+	ResumedFrom int `json:"resumed_from,omitempty"`
+	// Checkpoints counts snapshots persisted while the job ran.
+	Checkpoints int `json:"checkpoints,omitempty"`
+	// WarmStarted marks a run that skipped its warmup prefix by restoring a
+	// cached warm snapshot.
+	WarmStarted bool    `json:"warm_started,omitempty"`
+	QueuedMs    float64 `json:"queued_ms"`
+	RunMs       float64 `json:"run_ms"`
 }
 
 // Options configures a Server. Zero fields take defaults.
@@ -108,6 +125,12 @@ type Options struct {
 	// slow or overloaded node in cluster hedging demos and tests; results are
 	// unaffected because they carry no wall-clock quantities. Default 0.
 	Handicap time.Duration
+	// StateDir, when non-empty, makes the daemon preemptible: checkpoint
+	// snapshots of in-progress jobs and the result cache are persisted there
+	// (atomic writes), and on startup finished results are reloaded and
+	// interrupted jobs resume from their last snapshot when resubmitted.
+	// Empty disables durability.
+	StateDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -168,15 +191,34 @@ type Server struct {
 	runCancel context.CancelFunc
 	busy      atomic.Int32
 
+	state *stateStore
+	warm  *warmCache
+
 	mu        sync.Mutex
 	jobs      map[string]*Job
 	inflight  map[string]*Job // hash -> first active (queued/running) job
 	nextID    uint64
 	draining  bool
 	fill      FillFunc
+	ckptRepl  CkptReplicateFunc
 	nodeID    string
 	addr      string
 	extraProm []func(io.Writer) error
+}
+
+// CkptReplicateFunc pushes a freshly persisted job snapshot somewhere safer
+// than this node — in a cluster, to the hash's ring successor — so a job
+// survives losing the node that was running it. It must not block the worker
+// for long; failures are invisible (replication is best-effort on top of the
+// local durable copy).
+type CkptReplicateFunc func(hash string, snap []byte)
+
+// SetCkptReplicate installs the snapshot replication hook. Install before
+// serving traffic.
+func (s *Server) SetCkptReplicate(f CkptReplicateFunc) {
+	s.mu.Lock()
+	s.ckptRepl = f
+	s.mu.Unlock()
 }
 
 // FillFunc tries to satisfy a job from somewhere cheaper than simulating —
@@ -209,20 +251,36 @@ func (s *Server) Identity() (nodeID, addr string) {
 	return s.nodeID, s.addr
 }
 
-// New starts a Server with opts.
+// New starts a Server with opts. A StateDir that cannot be created is fatal
+// (panic): a daemon that silently dropped durability would lie about the
+// preemption guarantees it advertises.
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
+	state, err := newStateStore(opts.StateDir)
+	if err != nil {
+		panic(err.Error())
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		opts:      opts,
 		metrics:   newMetrics(),
 		cache:     newResultCache(opts.CacheEntries),
 		brk:       newBreaker(opts.BreakerThreshold, opts.BreakerCooldown),
+		state:     state,
+		warm:      newWarmCache(),
 		queue:     make(chan *Job, opts.QueueDepth),
 		runCtx:    ctx,
 		runCancel: cancel,
 		jobs:      make(map[string]*Job),
 		inflight:  make(map[string]*Job),
+	}
+	// Reload results finished before the previous shutdown: resubmitting the
+	// same spec hits the cache instead of re-simulating.
+	for _, e := range state.LoadResults() {
+		var res Result
+		if json.Unmarshal(e.Result, &res) == nil && res.Hash == e.Hash {
+			s.cache.Put(e.Hash, &res)
+		}
 	}
 	s.wg.Add(opts.Workers)
 	for i := 0; i < opts.Workers; i++ {
@@ -348,6 +406,7 @@ func (s *Server) runJob(rn *Runner, j *Job) {
 	j.state = JobRunning
 	j.started = time.Now()
 	fill := s.fill
+	repl := s.ckptRepl
 	s.mu.Unlock()
 
 	s.busy.Add(1)
@@ -364,6 +423,39 @@ func (s *Server) runJob(rn *Runner, j *Job) {
 		}
 	}
 
+	// Checkpoint I/O for preemptible plans: resume from the durable snapshot
+	// if one survived a previous daemon (or a peer handoff), otherwise fork
+	// from a cached warm snapshot when the plan shares a warmup prefix.
+	// Snapshots captured at barriers land in the state dir and, in a
+	// cluster, on the hash's ring successor.
+	var cio *CkptIO
+	if j.plan.CkptEvery > 0 || j.plan.Warmup != nil {
+		cio = &CkptIO{}
+		if snap, ok := s.state.LoadCkpt(j.hash); ok {
+			cio.Resume = snap
+		} else if j.plan.Warmup != nil {
+			if snap, ok := s.warm.Get(j.plan.WarmHash()); ok {
+				cio.WarmStart = snap
+			}
+		}
+		if j.plan.CkptEvery > 0 && (s.state.enabled() || repl != nil) {
+			hash := j.hash
+			cio.Sink = func(idx int, snap []byte) error {
+				if err := s.state.SaveCkpt(hash, snap); err != nil {
+					return err
+				}
+				if repl != nil {
+					repl(hash, snap)
+				}
+				return nil
+			}
+		}
+		if j.plan.Warmup != nil {
+			warmHash := j.plan.WarmHash()
+			cio.WarmSink = func(snap []byte) { s.warm.Put(warmHash, snap) }
+		}
+	}
+
 	var res *Result
 	var err error
 	defer func() {
@@ -371,6 +463,20 @@ func (s *Server) runJob(rn *Runner, j *Job) {
 		wall := time.Since(start)
 		s.busy.Add(-1)
 		s.metrics.workerBusy(wall)
+		if cio != nil {
+			s.mu.Lock()
+			j.resumedFrom = cio.ResumedFrom
+			j.checkpoints = cio.Saves
+			j.warmStarted = cio.WarmStarted
+			s.mu.Unlock()
+			if cio.ResumedFrom > 0 {
+				s.metrics.jobResumed()
+			}
+			if cio.WarmStarted {
+				s.metrics.jobWarmStarted()
+			}
+			s.metrics.ckptSaved(cio.Saves)
+		}
 		if r := recover(); r != nil {
 			// A panic unwound out of the run (the panicking frames are still
 			// below us, so the stack names the culprit). Fail the job with
@@ -405,7 +511,12 @@ func (s *Server) runJob(rn *Runner, j *Job) {
 		case <-time.After(s.opts.Handicap):
 		}
 	}
-	res, err = s.runWithRetry(ctx, rn, j.plan)
+	res, err = s.runWithRetry(ctx, rn, j.plan, cio)
+	if err == nil {
+		// The job finished; its snapshot is dead weight (and must not be
+		// resumed by a future submission of the same hash).
+		s.state.DropCkpt(j.hash)
+	}
 }
 
 // finalize moves a job to its terminal state and updates breaker + metrics.
@@ -442,10 +553,10 @@ func (s *Server) finalize(j *Job, res *Result, err error, wall time.Duration) {
 // capped exponential backoff plus jitter. All attempts share the job's
 // timeout context. Permanent faults, client errors, and timeouts are never
 // retried.
-func (s *Server) runWithRetry(ctx context.Context, rn *Runner, p *Plan) (*Result, error) {
+func (s *Server) runWithRetry(ctx context.Context, rn *Runner, p *Plan, cio *CkptIO) (*Result, error) {
 	delay := s.opts.RetryBaseDelay
 	for attempt := 0; ; attempt++ {
-		res, err := rn.RunAttempt(ctx, p, attempt)
+		res, err := rn.RunAttemptCkpt(ctx, p, attempt, cio)
 		if err == nil || attempt >= s.opts.MaxRetries || !fault.IsTransient(err) {
 			return res, err
 		}
@@ -470,7 +581,8 @@ func (s *Server) runWithRetry(ctx context.Context, rn *Runner, p *Plan) (*Result
 // statusLocked builds the status view; the caller holds s.mu.
 func (j *Job) statusLocked() JobStatus {
 	st := JobStatus{ID: j.id, Hash: j.hash, State: j.state, Cached: j.cached,
-		PeerFilled: j.peer, Error: j.err}
+		PeerFilled: j.peer, Error: j.err, ResumedFrom: j.resumedFrom,
+		Checkpoints: j.checkpoints, WarmStarted: j.warmStarted}
 	switch j.state {
 	case JobQueued:
 		st.QueuedMs = float64(time.Since(j.submitted)) / float64(time.Millisecond)
@@ -586,9 +698,34 @@ func (s *Server) MetricsSnapshot() MetricsSnapshot {
 // completed without forced cancellation. Shutdown is idempotent; concurrent
 // calls all block until the pool exits.
 func (s *Server) Shutdown(drainTimeout time.Duration) bool {
+	_, clean := s.ShutdownDrain(drainTimeout)
+	return clean
+}
+
+// DrainSummary classifies what happened to the jobs that were in flight when
+// a drain began. Checkpointed jobs were canceled but left a durable snapshot
+// behind: resubmitting the same spec (here after restart, or on another node
+// holding the replica) resumes from the last barrier instead of starting
+// over.
+type DrainSummary struct {
+	Finished     int `json:"finished"`
+	Checkpointed int `json:"checkpointed"`
+	Canceled     int `json:"canceled"`
+}
+
+// ShutdownDrain is Shutdown returning a per-job accounting of the drain. It
+// also persists the result cache to the state dir, so finished work survives
+// the restart alongside the snapshots of interrupted work.
+func (s *Server) ShutdownDrain(drainTimeout time.Duration) (DrainSummary, bool) {
 	s.mu.Lock()
 	already := s.draining
 	s.draining = true
+	var active []*Job
+	for _, j := range s.jobs {
+		if j.state == JobQueued || j.state == JobRunning {
+			active = append(active, j)
+		}
+	}
 	if !already {
 		// Submissions send on s.queue only while holding s.mu with
 		// draining false, so this close cannot race a send.
@@ -612,5 +749,70 @@ func (s *Server) Shutdown(drainTimeout time.Duration) bool {
 		<-done
 	}
 	s.runCancel()
-	return clean
+
+	var sum DrainSummary
+	s.mu.Lock()
+	hashes := make([]string, 0, len(active))
+	for _, j := range active {
+		if j.state == JobDone {
+			sum.Finished++
+			hashes = append(hashes, "")
+			continue
+		}
+		hashes = append(hashes, j.hash)
+	}
+	s.mu.Unlock()
+	for _, h := range hashes {
+		switch {
+		case h == "":
+			// counted as finished above
+		case s.state.HasCkpt(h):
+			sum.Checkpointed++
+		default:
+			sum.Canceled++
+		}
+	}
+	s.persistResults()
+	return sum, clean
+}
+
+// persistResults writes the result cache to the state dir (no-op without
+// one). Best-effort: the cache is an optimization, so failures are ignored.
+func (s *Server) persistResults() {
+	if !s.state.enabled() {
+		return
+	}
+	entries := s.cache.Entries()
+	out := make([]persistedResult, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, persistedResult{Hash: e.key, Result: e.res.Canonical()})
+	}
+	s.state.SaveResults(out)
+}
+
+// CheckpointBytes returns the durable snapshot stored for a job hash
+// (envelope-validated). It backs GET /v1/jobs/{id}/checkpoint and the peer
+// checkpoint protocol.
+func (s *Server) CheckpointBytes(hash string) ([]byte, bool) {
+	if !validSnapshotName(hash) {
+		return nil, false
+	}
+	return s.state.LoadCkpt(hash)
+}
+
+// PutCheckpoint stores an externally produced snapshot (a peer replica or a
+// client-side restore-on-submit) so the next submission of that hash resumes
+// from it. The envelope is validated before anything touches disk; storing
+// requires a state dir.
+func (s *Server) PutCheckpoint(hash string, snap []byte) error {
+	if !validSnapshotName(hash) {
+		return fmt.Errorf("server: invalid snapshot hash %q", hash)
+	}
+	if !s.state.enabled() {
+		return fmt.Errorf("server: no state dir; cannot store checkpoints")
+	}
+	if _, err := ckpt.Open(snap); err != nil {
+		return fmt.Errorf("server: rejecting snapshot for %s: %w", hash, err)
+	}
+	return s.state.SaveCkpt(hash, snap)
 }

@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/ckpt"
+)
+
+// recorder is a deterministic workload of interleaved recurring callbacks:
+// each callback appends its (id, cycle) firing to the log and reschedules
+// itself until its budget runs out.
+type recorder struct {
+	eng    *Engine
+	log    []uint64
+	budget map[uint64]int
+	period map[uint64]Cycle
+}
+
+func (r *recorder) register(id uint64, period Cycle, budget int) {
+	r.budget[id] = budget
+	r.period[id] = period
+	r.eng.RegisterRecurring(id, func() {
+		r.log = append(r.log, id<<32|uint64(r.eng.Now()))
+		if r.budget[id] > 0 {
+			r.budget[id]--
+			r.eng.AfterRecurring(r.period[id], id)
+		}
+	})
+}
+
+func newRecorder(eng *Engine) *recorder {
+	r := &recorder{eng: eng, budget: map[uint64]int{}, period: map[uint64]Cycle{}}
+	r.register(1, 3, 20)
+	r.register(2, 5, 12)
+	r.register(3, 7, 9)
+	eng.ScheduleRecurring(1, 1)
+	eng.ScheduleRecurring(2, 2)
+	eng.ScheduleRecurring(2, 3)
+	return r
+}
+
+// TestEngineCheckpointRoundTrip runs half the workload, checkpoints with the
+// queue non-empty, restores into a fresh engine, and requires the combined
+// firing log and final clock to match an uninterrupted run exactly.
+func TestEngineCheckpointRoundTrip(t *testing.T) {
+	straight := NewEngine()
+	sr := newRecorder(straight)
+	straight.Run()
+
+	eng := NewEngine()
+	r := newRecorder(eng)
+	for i := 0; i < 15 && eng.step(); i++ {
+	}
+	if eng.Pending() == 0 {
+		t.Fatal("workload exhausted before the cut; deepen it")
+	}
+
+	var enc ckpt.Enc
+	if err := eng.SaveState(&enc); err != nil {
+		t.Fatalf("SaveState: %v", err)
+	}
+	// Mutable recorder state is part of the model; carry it across like a
+	// component's SaveState would.
+	budget := map[uint64]int{}
+	for k, v := range r.budget {
+		budget[k] = v
+	}
+	prefix := append([]uint64(nil), r.log...)
+
+	eng2 := NewEngine()
+	r2 := &recorder{eng: eng2, budget: budget, period: r.period, log: prefix}
+	for id := range r.period {
+		id := id
+		eng2.RegisterRecurring(id, func() {
+			r2.log = append(r2.log, id<<32|uint64(eng2.Now()))
+			if r2.budget[id] > 0 {
+				r2.budget[id]--
+				eng2.AfterRecurring(r2.period[id], id)
+			}
+		})
+	}
+	if err := eng2.LoadState(ckpt.NewDec(enc.Bytes())); err != nil {
+		t.Fatalf("LoadState: %v", err)
+	}
+	if eng2.Now() != eng.Now() || eng2.Pending() != eng.Pending() {
+		t.Fatalf("restored engine at (%d, %d pending), want (%d, %d)",
+			eng2.Now(), eng2.Pending(), eng.Now(), eng.Pending())
+	}
+	eng2.Run()
+
+	if len(r2.log) != len(sr.log) {
+		t.Fatalf("restored run fired %d callbacks, straight run %d", len(r2.log), len(sr.log))
+	}
+	for i := range sr.log {
+		if r2.log[i] != sr.log[i] {
+			t.Fatalf("firing %d differs: restored (id=%d, cyc=%d), straight (id=%d, cyc=%d)",
+				i, r2.log[i]>>32, r2.log[i]&0xffffffff, sr.log[i]>>32, sr.log[i]&0xffffffff)
+		}
+	}
+	if eng2.Now() != straight.Now() || eng2.Fired() != straight.Fired() {
+		t.Fatalf("restored run ended at (now=%d, fired=%d), straight at (now=%d, fired=%d)",
+			eng2.Now(), eng2.Fired(), straight.Now(), straight.Fired())
+	}
+}
+
+// TestEngineCheckpointRejectsClosures: a pending plain closure has no
+// serializable identity and must fail the save.
+func TestEngineCheckpointRejectsClosures(t *testing.T) {
+	eng := NewEngine()
+	eng.After(10, func() {})
+	var enc ckpt.Enc
+	if err := eng.SaveState(&enc); err == nil {
+		t.Fatal("SaveState accepted a pending closure event")
+	}
+}
+
+// TestEngineLoadUnregisteredID: restoring without re-registering the
+// callbacks is a corrupt/mismatched snapshot, not a panic.
+func TestEngineLoadUnregisteredID(t *testing.T) {
+	eng := NewEngine()
+	eng.RegisterRecurring(9, func() {})
+	eng.ScheduleRecurring(5, 9)
+	var enc ckpt.Enc
+	if err := eng.SaveState(&enc); err != nil {
+		t.Fatalf("SaveState: %v", err)
+	}
+	fresh := NewEngine()
+	err := fresh.LoadState(ckpt.NewDec(enc.Bytes()))
+	if !errors.Is(err, ckpt.ErrCorrupt) {
+		t.Fatalf("LoadState = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestRNGCheckpointRoundTrip: a restored stream continues identically.
+func TestRNGCheckpointRoundTrip(t *testing.T) {
+	r := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		r.Uint64()
+	}
+	var enc ckpt.Enc
+	r.SaveState(&enc)
+
+	want := make([]uint64, 50)
+	for i := range want {
+		want[i] = r.Uint64()
+	}
+
+	r2 := NewRNG(7)
+	r2.LoadState(ckpt.NewDec(enc.Bytes()))
+	for i := range want {
+		if got := r2.Uint64(); got != want[i] {
+			t.Fatalf("draw %d: restored %d, straight %d", i, got, want[i])
+		}
+	}
+}

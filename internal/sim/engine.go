@@ -19,10 +19,14 @@ const Never = Cycle(1<<63 - 1)
 // event is a scheduled callback. seq breaks ties so same-cycle events fire in
 // the order they were scheduled, making runs reproducible. Exactly one of
 // fn/afn is set; afn is invoked with arg, letting recurring callers schedule
-// without allocating a fresh closure per event (see ScheduleFn).
+// without allocating a fresh closure per event (see ScheduleFn). rid is the
+// recurring-callback registration the event was scheduled through (0 for
+// plain closures); only rid-carrying events can cross a checkpoint, because
+// they are re-created from the registry instead of serializing code.
 type event struct {
 	at  Cycle
 	seq uint64
+	rid uint64
 	fn  func()
 	afn func(any)
 	arg any
@@ -64,6 +68,10 @@ type Engine struct {
 	// can be earlier). Entries are in increasing seq order by construction.
 	nowq    []event
 	nowHead int
+
+	// recurring maps registered callback IDs to their bound callbacks; see
+	// RegisterRecurring.
+	recurring map[uint64]func()
 }
 
 // NewEngine returns an engine starting at cycle 0.
@@ -140,6 +148,48 @@ func (e *Engine) ScheduleFn(at Cycle, fn func(any), arg any) {
 // After; see ScheduleFn).
 func (e *Engine) AfterFn(delay Cycle, fn func(any), arg any) {
 	e.ScheduleFn(e.now+delay, fn, arg)
+}
+
+// RegisterRecurring binds a callback to a stable numeric ID. Events scheduled
+// through ScheduleRecurring carry the ID instead of a closure, which is what
+// lets a checkpoint serialize them: SaveState records (at, seq, id) and
+// LoadState re-creates the event from the registry, provided the restoring
+// engine registered the same ID first. Re-registering an ID rebinds it.
+func (e *Engine) RegisterRecurring(id uint64, fn func()) {
+	if id == 0 {
+		panic("sim: recurring callback id 0 is reserved")
+	}
+	if fn == nil {
+		panic("sim: nil recurring callback")
+	}
+	if e.recurring == nil {
+		e.recurring = make(map[uint64]func())
+	}
+	e.recurring[id] = fn
+}
+
+// ScheduleRecurring schedules the callback registered under id at absolute
+// cycle at (past-clamped like Schedule). It panics on an unregistered ID —
+// that is a wiring bug, not a runtime condition.
+func (e *Engine) ScheduleRecurring(at Cycle, id uint64) {
+	fn, ok := e.recurring[id]
+	if !ok {
+		panic("sim: ScheduleRecurring on unregistered id")
+	}
+	e.seq++
+	if at <= e.now {
+		e.nowq = append(e.nowq, event{at: e.now, seq: e.seq, rid: id, fn: fn})
+		e.notePeak()
+		return
+	}
+	e.heapPush(event{at: at, seq: e.seq, rid: id, fn: fn})
+	e.notePeak()
+}
+
+// AfterRecurring schedules the callback registered under id delay cycles
+// from now.
+func (e *Engine) AfterRecurring(delay Cycle, id uint64) {
+	e.ScheduleRecurring(e.now+delay, id)
 }
 
 // step executes the earliest pending event, advancing time to it.

@@ -1,0 +1,44 @@
+package vans
+
+// Recovery is the common interface over the two ways a system comes back
+// after its process dies. RemnantsRecovery models a power cycle: only what
+// the hardware guarantees persistent (media image, wear counters, AIT
+// translation table) survives, volatile structures come back cold. It is the
+// semantics the crash-consistency checker verifies. ExactRecovery models a
+// preempted or migrated simulation: an exact-state snapshot taken at an
+// idle cut brings back every structure, so the resumed run is byte-identical
+// to an uninterrupted one. Both produce a fresh *System and leave the old
+// one untouched.
+type Recovery interface {
+	// Name identifies the recovery semantics ("remnants" or "exact").
+	Name() string
+	// Recover builds the post-restart system from the pre-crash one.
+	Recover(old *System) (*System, error)
+}
+
+// RemnantsRecovery restarts with only hardware-persistent state, exactly
+// like System.Recover.
+type RemnantsRecovery struct{}
+
+// Name implements Recovery.
+func (RemnantsRecovery) Name() string { return "remnants" }
+
+// Recover implements Recovery.
+func (RemnantsRecovery) Recover(old *System) (*System, error) {
+	return old.Recover(), nil
+}
+
+// ExactRecovery restarts from a Capture snapshot.
+type ExactRecovery struct {
+	// Snapshot is a sealed snapshot from System.Capture, taken on a system
+	// with the same configuration as the one being recovered.
+	Snapshot []byte
+}
+
+// Name implements Recovery.
+func (ExactRecovery) Name() string { return "exact" }
+
+// Recover implements Recovery.
+func (r ExactRecovery) Recover(old *System) (*System, error) {
+	return Restore(old.Config(), r.Snapshot)
+}
