@@ -4,14 +4,23 @@ GO ?= go
 # microbenchmarks, and the observability hot-path (hooks-disabled overhead).
 BENCH_PKGS = ./ ./internal/sim/ ./internal/obs/
 
-.PHONY: ci build vet test race fmt-check fmt fuzz-smoke fuzz bench bench-smoke trace-smoke ckpt-smoke cluster-smoke cluster-demo
+.PHONY: ci build vet test race fmt-check fmt fuzz-smoke fuzz bench bench-smoke trace-smoke ckpt-smoke cluster-smoke cluster-demo chaos-smoke
 
 # ci is the gate: vet, build, the full suite under the race detector
 # (including the nvmserved integration tests and the randomized ADR
 # crash-consistency property test), a short fuzz smoke per target, a
 # single-iteration bench smoke, a trace-export smoke, a checkpoint/restore
-# smoke, a 3-node cluster smoke, and a gofmt check.
-ci: vet build race fuzz-smoke bench-smoke trace-smoke ckpt-smoke cluster-smoke fmt-check
+# smoke, a 3-node cluster smoke, a seeded chaos soak, and a gofmt check.
+ci: vet build race fuzz-smoke bench-smoke trace-smoke ckpt-smoke cluster-smoke chaos-smoke fmt-check
+
+# chaos-smoke runs the seeded in-process chaos soak: a 3-node fleet under
+# drops, delays, duplication, slow-drip, a corruption-injecting peer, and a
+# healed full partition — asserting byte-identity against a solo reference,
+# bounded dispatch attempts, quarantine of the corrupter, anti-entropy
+# replica convergence, an exactly-replayable fault schedule, and no
+# goroutine leaks. Same seed = same faults, so failures reproduce.
+chaos-smoke:
+	$(GO) run ./cmd/nvmload -chaos -points 12 -steps 8000 -chaos-seed 1
 
 # ckpt-smoke drives checkpoint/restore end to end through the vans CLI:
 # a checkpointing run, a restore that must reproduce the original output
@@ -75,12 +84,14 @@ fuzz-smoke:
 	$(GO) test ./internal/units/ -run '^$$' -fuzz=FuzzParseSize -fuzztime=5s
 	$(GO) test ./internal/server/ -run '^$$' -fuzz=FuzzJobSpec -fuzztime=5s
 	$(GO) test ./internal/ckpt/ -run '^$$' -fuzz=FuzzCheckpointDecode -fuzztime=5s
+	$(GO) test ./internal/chaos/ -run '^$$' -fuzz=FuzzChaosSpec -fuzztime=5s
 
 # fuzz digs longer; run it when touching the parsers or the job model.
 fuzz:
 	$(GO) test ./internal/units/ -run '^$$' -fuzz=FuzzParseSize -fuzztime=2m
 	$(GO) test ./internal/server/ -run '^$$' -fuzz=FuzzJobSpec -fuzztime=2m
 	$(GO) test ./internal/ckpt/ -run '^$$' -fuzz=FuzzCheckpointDecode -fuzztime=2m
+	$(GO) test ./internal/chaos/ -run '^$$' -fuzz=FuzzChaosSpec -fuzztime=2m
 
 build:
 	$(GO) build ./...

@@ -75,10 +75,24 @@ func main() {
 		hedgeAfter  = flag.Duration("hedge-after", 150*time.Millisecond, "demo: fixed hedge budget passed to all nodes")
 		workers     = flag.Int("workers", 2, "demo: workers per node")
 		keepLogs    = flag.Bool("keep-logs", false, "demo: stream node logs to stderr")
+		chaosMode   = flag.Bool("chaos", false, "run the seeded in-process chaos soak (no -serve-bin needed)")
+		chaosSeed   = flag.Uint64("chaos-seed", 1, "chaos: fault-schedule seed (same seed replays the same faults)")
 	)
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("nvmload: ")
+
+	if *chaosMode {
+		cr := &chaosRun{
+			seed: *chaosSeed, points: *points, region: *region,
+			steps: *steps, workers: *workers,
+		}
+		if err := cr.run(); err != nil {
+			log.Fatalf("CHAOS SOAK FAILED: %v", err)
+		}
+		log.Print("chaos soak passed: byte-identity, bounded attempts, quarantine, anti-entropy convergence, replayable schedule, no leaks")
+		return
+	}
 
 	if *demo {
 		if *serveBin == "" {
@@ -143,6 +157,7 @@ type sweepResult struct {
 	points, completed, failed int
 	hedged, rerouted          int
 	peerFilled                int
+	maxAttempts               int // largest per-dispatch attempt count seen
 	elapsed                   time.Duration
 	canon                     map[int]string // index -> canonical result JSON
 }
@@ -177,6 +192,7 @@ func runSweep(url string, sweep map[string]any) (*sweepResult, error) {
 			Route     struct {
 				Hedged   bool `json:"hedged"`
 				Reroutes int  `json:"reroutes"`
+				Attempts int  `json:"attempts"`
 			} `json:"route"`
 			Job struct {
 				State      string `json:"state"`
@@ -203,6 +219,9 @@ func runSweep(url string, sweep map[string]any) (*sweepResult, error) {
 		}
 		if line.Route.Reroutes > 0 {
 			res.rerouted++
+		}
+		if line.Route.Attempts > res.maxAttempts {
+			res.maxAttempts = line.Route.Attempts
 		}
 		if line.Job.PeerFilled {
 			res.peerFilled++

@@ -10,8 +10,9 @@
 //	          [-max-retries 2] [-retry-base 10ms] [-retry-max 500ms]
 //	          [-breaker-threshold 5] [-breaker-cooldown 5s]
 //	          [-node-id n1] [-peers n1=host:port,n2=host:port,...]
-//	          [-hedge-after 0] [-handicap 0] [-state-dir DIR]
-//	          [-debug-addr localhost:6060]
+//	          [-hedge-after 0] [-attempt-budget 0] [-dispatch-timeout 0]
+//	          [-quarantine-threshold 0] [-probe-every 0] [-anti-entropy 0]
+//	          [-handicap 0] [-state-dir DIR] [-debug-addr localhost:6060]
 //
 // -state-dir makes the daemon preemptible: checkpointing jobs write barrier
 // snapshots there, finished results persist across restarts, and SIGTERM
@@ -67,23 +68,28 @@ import (
 
 func main() {
 	var (
-		addr         = flag.String("addr", ":8077", "listen address (:0 binds an ephemeral port, resolved address is logged and in /v1/healthz)")
-		workers      = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		queue        = flag.Int("queue", 64, "job queue depth")
-		cache        = flag.Int("cache", 256, "result cache entries (negative disables)")
-		jobTimeout   = flag.Duration("job-timeout", 60*time.Second, "per-job execution timeout")
-		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain budget")
-		maxRetries   = flag.Int("max-retries", 2, "retries for transient injected faults (negative disables)")
-		retryBase    = flag.Duration("retry-base", 10*time.Millisecond, "first retry backoff (doubles per retry, with jitter)")
-		retryMax     = flag.Duration("retry-max", 500*time.Millisecond, "retry backoff cap")
-		brkThreshold = flag.Int("breaker-threshold", 5, "consecutive engine failures that open the circuit breaker (negative disables)")
-		brkCooldown  = flag.Duration("breaker-cooldown", 5*time.Second, "how long the breaker stays open before probing")
-		nodeID       = flag.String("node-id", "n1", "this node's id in the cluster membership")
-		peers        = flag.String("peers", "", "full cluster membership as id=host:port pairs, comma separated, self included (empty = single-node)")
-		hedgeAfter   = flag.Duration("hedge-after", 0, "fixed straggler budget before hedging a dispatch (0 = adaptive p95)")
-		handicap     = flag.Duration("handicap", 0, "artificial delay before each locally simulated job (slow-node demo knob)")
-		stateDir     = flag.String("state-dir", "", "durable state directory for checkpoints and results (empty = in-memory only)")
-		debugAddr    = flag.String("debug-addr", "", "optional pprof listener address, e.g. localhost:6060 (empty disables)")
+		addr          = flag.String("addr", ":8077", "listen address (:0 binds an ephemeral port, resolved address is logged and in /v1/healthz)")
+		workers       = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue         = flag.Int("queue", 64, "job queue depth")
+		cache         = flag.Int("cache", 256, "result cache entries (negative disables)")
+		jobTimeout    = flag.Duration("job-timeout", 60*time.Second, "per-job execution timeout")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain budget")
+		maxRetries    = flag.Int("max-retries", 2, "retries for transient injected faults (negative disables)")
+		retryBase     = flag.Duration("retry-base", 10*time.Millisecond, "first retry backoff (doubles per retry, with jitter)")
+		retryMax      = flag.Duration("retry-max", 500*time.Millisecond, "retry backoff cap")
+		brkThreshold  = flag.Int("breaker-threshold", 5, "consecutive engine failures that open the circuit breaker (negative disables)")
+		brkCooldown   = flag.Duration("breaker-cooldown", 5*time.Second, "how long the breaker stays open before probing")
+		nodeID        = flag.String("node-id", "n1", "this node's id in the cluster membership")
+		peers         = flag.String("peers", "", "full cluster membership as id=host:port pairs, comma separated, self included (empty = single-node)")
+		hedgeAfter    = flag.Duration("hedge-after", 0, "fixed straggler budget before hedging a dispatch (0 = adaptive p95)")
+		attemptBudget = flag.Int("attempt-budget", 0, "max candidate launches per dispatch, hedge included (0 = members+1, negative = unbounded)")
+		dispatchTO    = flag.Duration("dispatch-timeout", 0, "deadline for one whole dispatch, reroutes and hedge included (0 = 2x request timeout, negative disables)")
+		quarThreshold = flag.Int("quarantine-threshold", 0, "corrupt responses that exile a peer from routing (0 = 3, negative disables)")
+		probeEvery    = flag.Duration("probe-every", 0, "background peer health-probe period (0 disables; latency appears in /v1/cluster/info)")
+		antiEntropy   = flag.Duration("anti-entropy", 0, "background checkpoint-replica repair period (0 disables)")
+		handicap      = flag.Duration("handicap", 0, "artificial delay before each locally simulated job (slow-node demo knob)")
+		stateDir      = flag.String("state-dir", "", "durable state directory for checkpoints and results (empty = in-memory only)")
+		debugAddr     = flag.String("debug-addr", "", "optional pprof listener address, e.g. localhost:6060 (empty disables)")
 	)
 	flag.Parse()
 
@@ -127,13 +133,20 @@ func main() {
 		log.Fatalf("nvmserved: %v", err)
 	}
 	node, err := cluster.NewNode(srv, cluster.Config{
-		SelfID:     *nodeID,
-		Peers:      members,
-		HedgeAfter: *hedgeAfter,
+		SelfID:              *nodeID,
+		Peers:               members,
+		HedgeAfter:          *hedgeAfter,
+		AttemptBudget:       *attemptBudget,
+		DispatchTimeout:     *dispatchTO,
+		QuarantineThreshold: *quarThreshold,
+		ProbeEvery:          *probeEvery,
+		AntiEntropyEvery:    *antiEntropy,
 	})
 	if err != nil {
 		log.Fatalf("nvmserved: %v", err)
 	}
+	node.Start()
+	defer node.Close()
 	httpSrv := &http.Server{Handler: node.Handler()}
 
 	errc := make(chan error, 1)

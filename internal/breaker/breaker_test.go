@@ -1,6 +1,8 @@
 package breaker
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -53,5 +55,152 @@ func TestSuccessClosesFromAnyState(t *testing.T) {
 	}
 	if ok, _ := b.Allow(); !ok {
 		t.Fatal("closed breaker refused an attempt")
+	}
+}
+
+// TestHalfOpenSingleProbeUnderContention is the concurrency version of the
+// single-probe guarantee: with the circuit open and the cooldown elapsed,
+// any number of goroutines racing through Allow must admit exactly one
+// probe. Run under -race (make race does) this also proves the transition
+// open -> half-open -> probing is atomic, not check-then-act.
+func TestHalfOpenSingleProbeUnderContention(t *testing.T) {
+	const goroutines = 32
+	const rounds = 100
+
+	b := New(1, 0) // cooldown elapses immediately: open == probe-eligible
+	for round := 0; round < rounds; round++ {
+		b.RecordFailure() // (re-)open the circuit
+		var admitted atomic.Int64
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < goroutines; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				if ok, _ := b.Allow(); ok {
+					admitted.Add(1)
+				}
+			}()
+		}
+		close(start)
+		wg.Wait()
+		if n := admitted.Load(); n != 1 {
+			t.Fatalf("round %d: %d probes admitted concurrently, want exactly 1", round, n)
+		}
+		// Fail the admitted probe so the next round starts from open again.
+	}
+}
+
+// TestReadyDoesNotConsumeProbe pins the Ready/Allow contract concurrently:
+// routing layers may poll Ready from any number of goroutines without
+// stealing the half-open probe slot from the goroutine that calls Allow.
+func TestReadyDoesNotConsumeProbe(t *testing.T) {
+	b := New(1, 0)
+	b.RecordFailure()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				b.Ready()
+			}
+		}()
+	}
+	wg.Wait()
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("Ready consumed the half-open probe slot")
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("second concurrent probe admitted after Ready hammering")
+	}
+}
+
+// TestConcurrentChurnInvariants hammers every method from many goroutines at
+// once and checks the observable invariants that must hold regardless of
+// interleaving: Snapshot always reports a legal state, consecutive failures
+// never go negative, and the opens counter is monotonic. The real assertion
+// is the race detector finding nothing.
+func TestConcurrentChurnInvariants(t *testing.T) {
+	b := New(3, time.Microsecond)
+	var wg sync.WaitGroup
+	var maxOpens atomic.Uint64
+
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				switch (seed + j) % 5 {
+				case 0:
+					b.Allow()
+				case 1:
+					b.Ready()
+				case 2:
+					b.RecordFailure()
+				case 3:
+					b.RecordSuccess()
+				default:
+					state, consec, opens := b.Snapshot()
+					if state != Closed && state != Open && state != HalfOpen {
+						t.Errorf("illegal state %q", state)
+					}
+					if consec < 0 {
+						t.Errorf("negative consecutive failures %d", consec)
+					}
+					// CompareAndSwap loop keeps the strongest lower bound seen;
+					// opens must never run backwards.
+					for {
+						prev := maxOpens.Load()
+						if opens >= prev {
+							if maxOpens.CompareAndSwap(prev, opens) {
+								break
+							}
+							continue
+						}
+						break
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if _, _, opens := b.Snapshot(); opens < maxOpens.Load() {
+		t.Fatalf("opens counter ran backwards: final %d < observed %d", opens, maxOpens.Load())
+	}
+}
+
+// TestConsecutiveFailuresOpenOnce verifies that a burst of concurrent
+// failures with no successes opens the circuit, and that the opens counter
+// records one transition (not one per failure past the threshold).
+func TestConsecutiveFailuresOpenOnce(t *testing.T) {
+	b := New(5, time.Hour)
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				b.RecordFailure()
+			}
+		}()
+	}
+	wg.Wait()
+
+	state, consec, opens := b.Snapshot()
+	if state != Open {
+		t.Fatalf("state = %q after 200 failures, want open", state)
+	}
+	if consec != 200 {
+		t.Fatalf("consecutive = %d, want 200 (failures lost under contention)", consec)
+	}
+	if opens != 1 {
+		t.Fatalf("opens = %d, want 1 (open transition double-counted)", opens)
+	}
+	if ok, wait := b.Allow(); ok || wait <= 0 {
+		t.Fatalf("freshly opened breaker admitted an attempt (wait %v)", wait)
 	}
 }

@@ -1,0 +1,255 @@
+// Package chaos is a deterministic network-fault fabric for the nvmserved
+// cluster: the Jepsen discipline applied to our own peer protocol. A seeded
+// Network wraps the HTTP path between named nodes — an http.RoundTripper on
+// the client side and a middleware on the server side — and injects faults
+// described by a composable Spec: per-route drop probability, added latency
+// (fixed plus uniform jitter), byte corruption of response bodies, request
+// duplication, slow-drip response bodies, and full or one-way partitions
+// between node pairs.
+//
+// Everything the fabric does is a pure function of (seed, side, from, to,
+// route, sequence number): the same seed replays the same fault schedule for
+// the same call sequence, which is what lets a chaos soak that found a bug be
+// re-run as a regression test. The Network keeps a bounded event log of every
+// injected fault; VerifyReplay recomputes each logged decision from a fresh
+// fabric with the same seed and spec, proving the schedule is reproducible.
+//
+// The paper's method — characterize a system by injecting controlled stimuli
+// and checking invariants — is the same method this package turns on the
+// cluster itself: inject a hostile network, then assert byte-identical
+// results, bounded retries, quarantined corrupters, and converged replicas.
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Rule is one composable fault clause. Empty From/To/Route match anything;
+// a request is subject to every rule that matches it, applied in spec order
+// (drops short-circuit; latencies add; any triggered corruption corrupts).
+type Rule struct {
+	// Route is a request-path prefix ("" or "/" matches every route).
+	Route string `json:"route,omitempty"`
+	// From / To name the calling and target node ("" matches any).
+	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
+
+	// Drop is the probability the request is dropped before reaching the
+	// target (the caller sees a transport error, as with a lost SYN).
+	Drop float64 `json:"drop,omitempty"`
+	// Corrupt is the probability one byte of the response body is flipped.
+	Corrupt float64 `json:"corrupt,omitempty"`
+	// Duplicate is the probability the request is delivered twice (the
+	// duplicate's response is discarded; the target sees both).
+	Duplicate float64 `json:"duplicate,omitempty"`
+
+	// LatencyMs is fixed added latency per request; JitterMs adds a uniform
+	// extra in [0, JitterMs).
+	LatencyMs int `json:"latency_ms,omitempty"`
+	JitterMs  int `json:"jitter_ms,omitempty"`
+
+	// DripBytes > 0 slow-drips the response body in chunks of DripBytes with
+	// DripDelayMs between chunks (applied by the server-side middleware).
+	DripBytes   int `json:"drip_bytes,omitempty"`
+	DripDelayMs int `json:"drip_delay_ms,omitempty"`
+}
+
+// matches reports whether the rule applies to one attempt.
+func (r Rule) matches(from, to, route string) bool {
+	if r.From != "" && r.From != from {
+		return false
+	}
+	if r.To != "" && r.To != to {
+		return false
+	}
+	if r.Route != "" && r.Route != "/" && !strings.HasPrefix(route, r.Route) {
+		return false
+	}
+	return true
+}
+
+// Partition names a blocked node pair. A full partition blocks both
+// directions; OneWay blocks only A→B (asymmetric partitions are how split
+// brains actually present).
+type Partition struct {
+	A      string `json:"a"`
+	B      string `json:"b"`
+	OneWay bool   `json:"one_way,omitempty"`
+}
+
+// Spec is a composable fault specification: an ordered rule list plus the
+// initially installed partitions. Partitions can also be installed and healed
+// at runtime through the Network, which is how a soak stages a
+// partition-then-heal scenario.
+type Spec struct {
+	Rules      []Rule      `json:"rules,omitempty"`
+	Partitions []Partition `json:"partitions,omitempty"`
+}
+
+// ParseSpec decodes and validates a JSON fault spec.
+func ParseSpec(data []byte) (Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Spec{}, fmt.Errorf("chaos: parsing spec: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// Validate rejects probabilities outside [0,1], negative durations and sizes,
+// and partitions missing an endpoint.
+func (s Spec) Validate() error {
+	for i, r := range s.Rules {
+		for _, p := range []struct {
+			name string
+			v    float64
+		}{{"drop", r.Drop}, {"corrupt", r.Corrupt}, {"duplicate", r.Duplicate}} {
+			if p.v < 0 || p.v > 1 {
+				return fmt.Errorf("chaos: rule %d: %s %v outside [0,1]", i, p.name, p.v)
+			}
+		}
+		if r.LatencyMs < 0 || r.JitterMs < 0 || r.DripBytes < 0 || r.DripDelayMs < 0 {
+			return fmt.Errorf("chaos: rule %d: negative duration or size", i)
+		}
+	}
+	for i, p := range s.Partitions {
+		if p.A == "" || p.B == "" {
+			return fmt.Errorf("chaos: partition %d: empty endpoint", i)
+		}
+		if p.A == p.B {
+			return fmt.Errorf("chaos: partition %d: %q partitioned from itself", i, p.A)
+		}
+	}
+	return nil
+}
+
+// Decision is the fabric's resolved verdict for one attempt: the composition
+// of every matching rule, derived deterministically from the seed.
+type Decision struct {
+	Drop      bool
+	Corrupt   bool
+	Duplicate bool
+	Latency   time.Duration
+	// CorruptAt is the response-body byte offset to flip when Corrupt is set
+	// (small, so even the shortest protocol bodies are hit).
+	CorruptAt int
+	// DripBytes/DripDelay are the strictest (smallest chunk, longest delay)
+	// drip parameters among matching rules; zero DripBytes means no drip.
+	DripBytes int
+	DripDelay time.Duration
+}
+
+// Faulty reports whether the decision injects anything at all.
+func (d Decision) Faulty() bool {
+	return d.Drop || d.Corrupt || d.Duplicate || d.Latency > 0 || d.DripBytes > 0
+}
+
+// decide composes every matching rule into one Decision. It is a pure
+// function: (seed, side|from|to|route, seq) fully determine the outcome, so
+// identical call sequences under the same seed yield identical schedules.
+func (s Spec) decide(seed uint64, key string, seq uint64) Decision {
+	var d Decision
+	for i, r := range s.Rules {
+		// Draw indices decorrelate the uniforms within one attempt: rule
+		// index times a stride, plus a slot per fault kind.
+		base := uint64(i) * 8
+		if r.Drop > 0 && unitFloat(seed, key, seq, base+0) < r.Drop {
+			d.Drop = true
+		}
+		if r.Corrupt > 0 && unitFloat(seed, key, seq, base+1) < r.Corrupt {
+			d.Corrupt = true
+			d.CorruptAt = int(mix(seed, key, seq, base+2) % corruptWindow)
+		}
+		if r.Duplicate > 0 && unitFloat(seed, key, seq, base+3) < r.Duplicate {
+			d.Duplicate = true
+		}
+		if r.LatencyMs > 0 || r.JitterMs > 0 {
+			ms := int64(r.LatencyMs)
+			if r.JitterMs > 0 {
+				ms += int64(mix(seed, key, seq, base+4) % uint64(r.JitterMs))
+			}
+			d.Latency += time.Duration(ms) * time.Millisecond
+		}
+		if r.DripBytes > 0 {
+			if d.DripBytes == 0 || r.DripBytes < d.DripBytes {
+				d.DripBytes = r.DripBytes
+			}
+			if delay := time.Duration(r.DripDelayMs) * time.Millisecond; delay > d.DripDelay {
+				d.DripDelay = delay
+			}
+		}
+	}
+	return d
+}
+
+// corruptWindow bounds the flipped byte's offset; protocol bodies (canonical
+// results, ckpt envelopes, health JSON) are always longer than this.
+const corruptWindow = 48
+
+// matchesAny reports whether any rule in the spec matches the attempt — the
+// cheap pre-check before paying for decide.
+func (s Spec) matchesAny(from, to, route string) bool {
+	for _, r := range s.Rules {
+		if r.matches(from, to, route) {
+			return true
+		}
+	}
+	return false
+}
+
+// decideFor is decide restricted to the rules matching (from, to, route),
+// with the key derived the same way the Network derives it. Exposed inside
+// the package for replay verification.
+func (s Spec) decideFor(seed uint64, side, from, to, route string, seq uint64) Decision {
+	matched := Spec{Rules: make([]Rule, 0, len(s.Rules))}
+	for _, r := range s.Rules {
+		if !r.matches(from, to, route) {
+			// Keep rule positions stable: a non-matching rule still occupies
+			// its draw indices, so matching-set changes elsewhere in the spec
+			// never shift this attempt's randomness.
+			matched.Rules = append(matched.Rules, Rule{})
+			continue
+		}
+		matched.Rules = append(matched.Rules, r)
+	}
+	return matched.decide(seed, decisionKey(side, from, to, route), seq)
+}
+
+// decisionKey names one attempt stream. Side separates the client transport's
+// and the server middleware's sequence spaces.
+func decisionKey(side, from, to, route string) string {
+	return side + "|" + from + "|" + to + "|" + route
+}
+
+// mix is the deterministic 64-bit stream behind every decision: a splitmix64
+// finalizer over seed, key hash, sequence number, and draw index.
+func mix(seed uint64, key string, seq, draw uint64) uint64 {
+	z := seed ^ fnv64(key) ^ seq*0x9e3779b97f4a7c15 ^ draw*0xbf58476d1ce4e5b9
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// unitFloat maps one draw to [0,1).
+func unitFloat(seed uint64, key string, seq, draw uint64) float64 {
+	return float64(mix(seed, key, seq, draw)>>11) / float64(1<<53)
+}
+
+// fnv64 is FNV-1a over the key string (allocation-free; hashing the key per
+// decision keeps decide a pure function with no per-key state).
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,388 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSpecValidate covers the grammar's reject set.
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		ok   bool
+	}{
+		{"empty", Spec{}, true},
+		{"full rule", Spec{Rules: []Rule{{Route: "/v1/peer/", From: "n1", To: "n2",
+			Drop: 0.5, Corrupt: 0.1, Duplicate: 0.2, LatencyMs: 5, JitterMs: 10,
+			DripBytes: 64, DripDelayMs: 1}}}, true},
+		{"drop above one", Spec{Rules: []Rule{{Drop: 1.5}}}, false},
+		{"negative corrupt", Spec{Rules: []Rule{{Corrupt: -0.1}}}, false},
+		{"negative latency", Spec{Rules: []Rule{{LatencyMs: -1}}}, false},
+		{"negative drip", Spec{Rules: []Rule{{DripBytes: -2}}}, false},
+		{"partition ok", Spec{Partitions: []Partition{{A: "n1", B: "n2"}}}, true},
+		{"partition empty end", Spec{Partitions: []Partition{{A: "n1"}}}, false},
+		{"partition self", Spec{Partitions: []Partition{{A: "n1", B: "n1"}}}, false},
+	}
+	for _, c := range cases {
+		if err := c.spec.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+// TestParseSpecRoundTrip: a parsed spec re-marshals and re-parses identically.
+func TestParseSpecRoundTrip(t *testing.T) {
+	src := `{"rules":[{"route":"/v1/peer/run","to":"n3","corrupt":0.75},
+		{"drop":0.05,"latency_ms":5,"jitter_ms":10}],
+		"partitions":[{"a":"n1","b":"n2","one_way":true}]}`
+	s, err := ParseSpec([]byte(src))
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ParseSpec(b)
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	b2, _ := json.Marshal(s2)
+	if !bytes.Equal(b, b2) {
+		t.Errorf("round trip changed the spec:\n  %s\n  %s", b, b2)
+	}
+}
+
+// TestRuleMatch pins the wildcard and prefix semantics.
+func TestRuleMatch(t *testing.T) {
+	r := Rule{Route: "/v1/peer/", From: "n1", To: "n2"}
+	if !r.matches("n1", "n2", "/v1/peer/run") {
+		t.Error("exact match rejected")
+	}
+	if r.matches("n2", "n2", "/v1/peer/run") {
+		t.Error("wrong from matched")
+	}
+	if r.matches("n1", "n3", "/v1/peer/run") {
+		t.Error("wrong to matched")
+	}
+	if r.matches("n1", "n2", "/v1/cluster/jobs") {
+		t.Error("wrong route matched")
+	}
+	wild := Rule{Drop: 1}
+	if !wild.matches("x", "y", "/anything") {
+		t.Error("wildcard rule rejected a match")
+	}
+}
+
+// TestDecideDeterministic: the same (seed, key, seq) always yields the same
+// decision, and different seeds yield different schedules.
+func TestDecideDeterministic(t *testing.T) {
+	spec := Spec{Rules: []Rule{{Drop: 0.3, Corrupt: 0.3, Duplicate: 0.3, LatencyMs: 1, JitterMs: 50}}}
+	var a, b []Decision
+	for seq := uint64(0); seq < 200; seq++ {
+		a = append(a, spec.decideFor(42, "client", "n1", "n2", "/v1/peer/run", seq))
+		b = append(b, spec.decideFor(42, "client", "n1", "n2", "/v1/peer/run", seq))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs across identical calls: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	diff := 0
+	for seq := uint64(0); seq < 200; seq++ {
+		if spec.decideFor(43, "client", "n1", "n2", "/v1/peer/run", seq) != a[seq] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("changing the seed changed nothing; decisions are not seed-driven")
+	}
+}
+
+// TestDecideStreamIsolation: distinct (from,to,route) streams draw from
+// distinct schedules — the key is not ignored.
+func TestDecideStreamIsolation(t *testing.T) {
+	spec := Spec{Rules: []Rule{{Drop: 0.5}}}
+	same := 0
+	for seq := uint64(0); seq < 200; seq++ {
+		if spec.decideFor(7, "client", "n1", "n2", "/x", seq).Drop ==
+			spec.decideFor(7, "client", "n1", "n3", "/x", seq).Drop {
+			same++
+		}
+	}
+	if same == 200 {
+		t.Error("two distinct streams produced identical schedules; key is ignored")
+	}
+}
+
+// TestCorruptOffsetsWithinWindow: corruption always hits the first
+// corruptWindow bytes, so every protocol body is corruptible.
+func TestCorruptOffsetsWithinWindow(t *testing.T) {
+	spec := Spec{Rules: []Rule{{Corrupt: 1}}}
+	for seq := uint64(0); seq < 100; seq++ {
+		d := spec.decideFor(1, "client", "a", "b", "/r", seq)
+		if !d.Corrupt {
+			t.Fatalf("corrupt=1 did not corrupt at seq %d", seq)
+		}
+		if d.CorruptAt < 0 || d.CorruptAt >= corruptWindow {
+			t.Fatalf("corrupt offset %d outside window", d.CorruptAt)
+		}
+	}
+}
+
+// newPair builds an origin server and a chaos network with the origin
+// registered as node "b", returning the origin URL's host for transport use.
+func newPair(t *testing.T, spec Spec, seed uint64, handler http.Handler) (*Network, *httptest.Server) {
+	t.Helper()
+	ts := httptest.NewServer(handler)
+	t.Cleanup(ts.Close)
+	net, err := NewNetwork(seed, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.RegisterNode("b", strings.TrimPrefix(ts.URL, "http://"))
+	return net, ts
+}
+
+// TestTransportDropAndPartition: dropped and partitioned requests surface as
+// transport errors and never reach the origin.
+func TestTransportDropAndPartition(t *testing.T) {
+	var hits atomic.Int32
+	net, ts := newPair(t, Spec{Rules: []Rule{{Route: "/fail", Drop: 1}}}, 1,
+		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			hits.Add(1)
+			w.Write([]byte("ok"))
+		}))
+	client := &http.Client{Transport: net.Transport("a", nil)}
+
+	if _, err := client.Get(ts.URL + "/fail"); err == nil {
+		t.Fatal("drop=1 request succeeded")
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("dropped request reached the origin (%d hits)", hits.Load())
+	}
+
+	resp, err := client.Get(ts.URL + "/ok")
+	if err != nil {
+		t.Fatalf("unmatched route failed: %v", err)
+	}
+	resp.Body.Close()
+
+	net.Partition("a", "b", false)
+	if _, err := client.Get(ts.URL + "/ok"); err == nil {
+		t.Fatal("partitioned request succeeded")
+	}
+	net.Heal("a", "b")
+	resp, err = client.Get(ts.URL + "/ok")
+	if err != nil {
+		t.Fatalf("healed partition still blocking: %v", err)
+	}
+	resp.Body.Close()
+
+	c := net.Snapshot()
+	if c.Drops == 0 || c.Partitions == 0 {
+		t.Errorf("counters = %+v, want drops and partitions > 0", c)
+	}
+}
+
+// TestOneWayPartition: A→B blocked, B→A open.
+func TestOneWayPartition(t *testing.T) {
+	net, err := NewNetwork(1, Spec{Partitions: []Partition{{A: "a", B: "b", OneWay: true}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !net.Partitioned("a", "b") {
+		t.Error("a→b should be blocked")
+	}
+	if net.Partitioned("b", "a") {
+		t.Error("b→a should be open (one-way)")
+	}
+}
+
+// TestTransportCorruption: corrupt=1 flips exactly one byte of the body.
+func TestTransportCorruption(t *testing.T) {
+	payload := bytes.Repeat([]byte("x"), 256)
+	net, ts := newPair(t, Spec{Rules: []Rule{{Corrupt: 1}}}, 3,
+		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { w.Write(payload) }))
+	client := &http.Client{Transport: net.Transport("a", nil)}
+	resp, err := client.Get(ts.URL + "/body")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, payload) {
+		t.Fatal("corrupt=1 returned pristine bytes")
+	}
+	flipped := 0
+	for i := range got {
+		if got[i] != payload[i] {
+			flipped++
+		}
+	}
+	if flipped != 1 {
+		t.Errorf("flipped %d bytes, want exactly 1", flipped)
+	}
+}
+
+// TestTransportDuplicate: duplicate=1 delivers the request twice; the caller
+// sees one response.
+func TestTransportDuplicate(t *testing.T) {
+	var hits atomic.Int32
+	net, ts := newPair(t, Spec{Rules: []Rule{{Duplicate: 1}}}, 4,
+		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			hits.Add(1)
+			io.Copy(io.Discard, r.Body)
+			w.Write([]byte("ok"))
+		}))
+	client := &http.Client{Transport: net.Transport("a", nil)}
+	resp, err := client.Post(ts.URL+"/run", "text/plain", strings.NewReader("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok" {
+		t.Errorf("caller response = %q", body)
+	}
+	if hits.Load() != 2 {
+		t.Errorf("origin saw %d deliveries, want 2", hits.Load())
+	}
+}
+
+// TestTransportLatency: latency_ms delays the request measurably.
+func TestTransportLatency(t *testing.T) {
+	net, ts := newPair(t, Spec{Rules: []Rule{{LatencyMs: 40}}}, 5,
+		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { w.Write([]byte("ok")) }))
+	client := &http.Client{Transport: net.Transport("a", nil)}
+	start := time.Now()
+	resp, err := client.Get(ts.URL + "/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if took := time.Since(start); took < 35*time.Millisecond {
+		t.Errorf("latency rule added only %s", took)
+	}
+	// A canceled context escapes the injected sleep promptly.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/slow", nil)
+	start = time.Now()
+	if _, err := client.Do(req); err == nil {
+		t.Error("canceled request succeeded through injected latency")
+	}
+	if took := time.Since(start); took > 30*time.Millisecond {
+		t.Errorf("cancellation took %s; injected sleep ignored the context", took)
+	}
+}
+
+// TestMiddlewareDripAndPartition: tagged peer requests are dripped and
+// partition-aborted; untagged driver requests pass clean.
+func TestMiddlewareDripAndPartition(t *testing.T) {
+	payload := bytes.Repeat([]byte("y"), 4096)
+	net, err := NewNetwork(6, Spec{Rules: []Rule{{DripBytes: 512, DripDelayMs: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { w.Write(payload) })
+	ts := httptest.NewServer(net.Middleware("b", inner))
+	t.Cleanup(ts.Close)
+
+	// Untagged request: clean pass-through.
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Equal(clean, payload) {
+		t.Error("untagged request body altered")
+	}
+
+	// Tagged request: dripped but intact.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL, nil)
+	req.Header.Set(fromHeader, "a")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dripped, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Equal(dripped, payload) {
+		t.Error("dripped body corrupted")
+	}
+	if net.Snapshot().Drips == 0 {
+		t.Error("no drip recorded")
+	}
+
+	// Partitioned tagged request: connection aborted.
+	net.Partition("a", "b", false)
+	if _, err := http.DefaultClient.Do(req.Clone(context.Background())); err == nil {
+		t.Error("partitioned inbound request served")
+	}
+}
+
+// TestVerifyReplay: every injected fault is reproducible from the seed alone.
+func TestVerifyReplay(t *testing.T) {
+	spec := Spec{Rules: []Rule{
+		{Route: "/a", Drop: 0.4, LatencyMs: 1, JitterMs: 3},
+		{Route: "/b", Corrupt: 0.6},
+		{Duplicate: 0.2},
+	}}
+	net, ts := newPair(t, spec, 99,
+		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Write(bytes.Repeat([]byte("z"), 128))
+		}))
+	client := &http.Client{Transport: net.Transport("a", nil)}
+	for i := 0; i < 120; i++ {
+		route := "/a"
+		switch i % 3 {
+		case 1:
+			route = "/b"
+		case 2:
+			route = "/c"
+		}
+		resp, err := client.Get(ts.URL + route)
+		if err != nil {
+			continue // drops are expected
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	checked, err := net.VerifyReplay()
+	if err != nil {
+		t.Fatalf("VerifyReplay: %v", err)
+	}
+	if checked == 0 {
+		t.Fatal("no faults injected; the soak would prove nothing")
+	}
+
+	// A second fabric with the same seed and spec makes the same calls and
+	// logs the same schedule.
+	net2, err := NewNetwork(99, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range net.Events() {
+		if ev.Kind == "partition" {
+			continue
+		}
+		d := net2.spec.decideFor(net2.seed, ev.Side, ev.From, ev.To, ev.Route, ev.Seq)
+		if !d.Faulty() {
+			t.Fatalf("second fabric disagrees at %+v", ev)
+		}
+	}
+}

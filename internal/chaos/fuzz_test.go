@@ -1,0 +1,51 @@
+package chaos
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzChaosSpec hammers the fault-spec grammar: ParseSpec must never panic,
+// every accepted spec must satisfy its own Validate, survive a
+// marshal/re-parse round trip, and drive decide without panicking.
+func FuzzChaosSpec(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"rules":[{"drop":0.5}]}`))
+	f.Add([]byte(`{"rules":[{"route":"/v1/peer/run","from":"n1","to":"n3",` +
+		`"drop":0.1,"corrupt":0.75,"duplicate":0.05,"latency_ms":5,"jitter_ms":10,` +
+		`"drip_bytes":512,"drip_delay_ms":2}]}`))
+	f.Add([]byte(`{"partitions":[{"a":"n1","b":"n2","one_way":true}]}`))
+	f.Add([]byte(`{"rules":[{"drop":1.5}]}`))
+	f.Add([]byte(`{"rules":[{"latency_ms":-3}]}`))
+	f.Add([]byte(`{"rules":[{"corrupt":1e-300}],"partitions":[{"a":"x","b":"y"}]}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"rules":`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSpec(data)
+		if err != nil {
+			return
+		}
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("ParseSpec accepted a spec its own Validate rejects: %v", verr)
+		}
+		b, merr := json.Marshal(s)
+		if merr != nil {
+			t.Fatalf("accepted spec does not marshal: %v", merr)
+		}
+		if _, rerr := ParseSpec(b); rerr != nil {
+			t.Fatalf("re-parse of accepted spec failed: %v\n%s", rerr, b)
+		}
+		// Accepted specs must drive the decision engine safely across the
+		// first few sequence numbers of an arbitrary stream.
+		for seq := uint64(0); seq < 4; seq++ {
+			d := s.decideFor(1, "client", "n1", "n2", "/v1/peer/run", seq)
+			if d.Corrupt && (d.CorruptAt < 0 || d.CorruptAt >= corruptWindow) {
+				t.Fatalf("corrupt offset %d outside window", d.CorruptAt)
+			}
+			if d.Latency < 0 || d.DripBytes < 0 {
+				t.Fatalf("negative decision from a validated spec: %+v", d)
+			}
+		}
+	})
+}

@@ -1,0 +1,436 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// fromHeader tags peer requests with the calling node's id so the server-side
+// middleware can attribute inbound traffic to a node pair. Requests without
+// the header (external clients, load drivers) are never chaosed by the
+// middleware — the fabric faults the fleet's own wiring, not the test driver.
+const fromHeader = "X-Chaos-From"
+
+// Event is one injected fault, recorded for replay verification and debugging.
+type Event struct {
+	Side  string        `json:"side"` // "client" or "server"
+	From  string        `json:"from"`
+	To    string        `json:"to"`
+	Route string        `json:"route"`
+	Seq   uint64        `json:"seq"`
+	Kind  string        `json:"kind"` // drop|partition|corrupt|duplicate|delay|drip
+	Delay time.Duration `json:"delay,omitempty"`
+}
+
+// Counters aggregates injected faults by kind.
+type Counters struct {
+	Attempts   uint64 `json:"attempts"`
+	Drops      uint64 `json:"drops"`
+	Partitions uint64 `json:"partitions"`
+	Corrupts   uint64 `json:"corrupts"`
+	Duplicates uint64 `json:"duplicates"`
+	Delays     uint64 `json:"delays"`
+	Drips      uint64 `json:"drips"`
+}
+
+// maxEvents bounds the event log; a soak injecting more simply keeps the most
+// recent window (counters stay exact).
+const maxEvents = 8192
+
+// Network is a seeded fault fabric shared by every member of one fleet. Wrap
+// each node's peer HTTP client with Transport and (optionally) its handler
+// with Middleware; register each node's listen address so targets resolve to
+// node ids; install or heal partitions at runtime to stage split-brain
+// scenarios.
+//
+// All fault decisions are pure functions of the seed and the per-stream
+// sequence number, so a fleet driven through the same call sequence replays
+// the same fault schedule.
+type Network struct {
+	seed uint64
+	spec Spec
+
+	mu     sync.Mutex
+	hosts  map[string]string // "host:port" -> node id
+	parts  map[string]bool   // "a>b" directed block
+	seqs   map[string]uint64 // decision stream cursors
+	events []Event
+
+	attempts   atomic.Uint64
+	drops      atomic.Uint64
+	partitions atomic.Uint64
+	corrupts   atomic.Uint64
+	duplicates atomic.Uint64
+	delays     atomic.Uint64
+	drips      atomic.Uint64
+}
+
+// NewNetwork builds a fabric over a validated spec. Initial partitions from
+// the spec are installed immediately.
+func NewNetwork(seed uint64, spec Spec) (*Network, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{
+		seed:  seed,
+		spec:  spec,
+		hosts: make(map[string]string),
+		parts: make(map[string]bool),
+		seqs:  make(map[string]uint64),
+	}
+	for _, p := range spec.Partitions {
+		n.Partition(p.A, p.B, p.OneWay)
+	}
+	return n, nil
+}
+
+// RegisterNode maps a node's listen address ("host:port") to its id so the
+// client transport can attribute outbound requests to a target node.
+func (n *Network) RegisterNode(id, hostport string) {
+	n.mu.Lock()
+	n.hosts[hostport] = id
+	n.mu.Unlock()
+}
+
+// Partition blocks traffic between a and b (only a→b when oneWay).
+func (n *Network) Partition(a, b string, oneWay bool) {
+	n.mu.Lock()
+	n.parts[a+">"+b] = true
+	if !oneWay {
+		n.parts[b+">"+a] = true
+	}
+	n.mu.Unlock()
+}
+
+// Heal removes any partition between a and b, in both directions.
+func (n *Network) Heal(a, b string) {
+	n.mu.Lock()
+	delete(n.parts, a+">"+b)
+	delete(n.parts, b+">"+a)
+	n.mu.Unlock()
+}
+
+// HealAll removes every partition.
+func (n *Network) HealAll() {
+	n.mu.Lock()
+	n.parts = make(map[string]bool)
+	n.mu.Unlock()
+}
+
+// Partitioned reports whether from→to traffic is currently blocked.
+func (n *Network) Partitioned(from, to string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.parts[from+">"+to]
+}
+
+// nodeFor resolves a request target address to its node id ("" if unknown).
+func (n *Network) nodeFor(hostport string) string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.hosts[hostport]
+}
+
+// next advances one decision stream and returns the attempt's sequence
+// number. Streams are per (side, from, to, route), so concurrency across
+// pairs or routes never perturbs another stream's schedule.
+func (n *Network) next(key string) uint64 {
+	n.mu.Lock()
+	seq := n.seqs[key]
+	n.seqs[key] = seq + 1
+	n.mu.Unlock()
+	return seq
+}
+
+// record appends to the bounded event log and bumps the per-kind counter.
+func (n *Network) record(ev Event) {
+	switch ev.Kind {
+	case "drop":
+		n.drops.Add(1)
+	case "partition":
+		n.partitions.Add(1)
+	case "corrupt":
+		n.corrupts.Add(1)
+	case "duplicate":
+		n.duplicates.Add(1)
+	case "delay":
+		n.delays.Add(1)
+	case "drip":
+		n.drips.Add(1)
+	}
+	n.mu.Lock()
+	if len(n.events) >= maxEvents {
+		copy(n.events, n.events[1:])
+		n.events = n.events[:maxEvents-1]
+	}
+	n.events = append(n.events, ev)
+	n.mu.Unlock()
+}
+
+// Events returns a copy of the bounded fault log.
+func (n *Network) Events() []Event {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]Event(nil), n.events...)
+}
+
+// Snapshot returns the exact per-kind fault counters.
+func (n *Network) Snapshot() Counters {
+	return Counters{
+		Attempts:   n.attempts.Load(),
+		Drops:      n.drops.Load(),
+		Partitions: n.partitions.Load(),
+		Corrupts:   n.corrupts.Load(),
+		Duplicates: n.duplicates.Load(),
+		Delays:     n.delays.Load(),
+		Drips:      n.drips.Load(),
+	}
+}
+
+// VerifyReplay rebuilds a fresh fabric from (seed, spec) and recomputes every
+// logged fault decision from scratch, confirming the schedule is a pure
+// function of the seed. It returns the number of decisions checked.
+func (n *Network) VerifyReplay() (int, error) {
+	n.mu.Lock()
+	events := append([]Event(nil), n.events...)
+	spec := n.spec
+	seed := n.seed
+	n.mu.Unlock()
+	for i, ev := range events {
+		if ev.Kind == "partition" {
+			continue // partition state is runtime-installed, not seed-derived
+		}
+		d := spec.decideFor(seed, ev.Side, ev.From, ev.To, ev.Route, ev.Seq)
+		ok := true
+		switch ev.Kind {
+		case "drop":
+			ok = d.Drop
+		case "corrupt":
+			ok = d.Corrupt
+		case "duplicate":
+			ok = d.Duplicate
+		case "delay":
+			ok = d.Latency == ev.Delay
+		case "drip":
+			ok = d.DripBytes > 0
+		}
+		if !ok {
+			return i, fmt.Errorf("chaos: replay diverged at event %d (%s %s→%s %s seq %d): got %+v",
+				i, ev.Kind, ev.From, ev.To, ev.Route, ev.Seq, d)
+		}
+	}
+	return len(events), nil
+}
+
+// dropError is the transport error surfaced for dropped or partitioned
+// requests; it mimics a connection failure, which is what the cluster's
+// breaker machinery must classify it as.
+type dropError struct{ msg string }
+
+func (e *dropError) Error() string { return e.msg }
+
+// transport is the client-side fault injector.
+type transport struct {
+	net  *Network
+	from string
+	base http.RoundTripper
+}
+
+// Transport wraps base (nil = http.DefaultTransport) with the fabric's
+// client-side faults for requests issued by node `from`: partitions, drops,
+// added latency, request duplication, and response-body corruption. Requests
+// to unregistered targets pass through untouched.
+func (n *Network) Transport(from string, base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &transport{net: n, from: from, base: base}
+}
+
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	to := t.net.nodeFor(req.URL.Host)
+	if to == "" {
+		return t.base.RoundTrip(req)
+	}
+	route := req.URL.Path
+	req = req.Clone(req.Context())
+	req.Header.Set(fromHeader, t.from)
+	t.net.attempts.Add(1)
+
+	// Partitions first: a blocked pair never consumes schedule randomness, so
+	// installing or healing one does not shift the rest of the fault schedule.
+	if t.net.Partitioned(t.from, to) {
+		t.net.record(Event{Side: "client", From: t.from, To: to, Route: route, Kind: "partition"})
+		return nil, &dropError{fmt.Sprintf("chaos: partition %s→%s", t.from, to)}
+	}
+	if !t.net.spec.matchesAny(t.from, to, route) {
+		return t.base.RoundTrip(req)
+	}
+	key := decisionKey("client", t.from, to, route)
+	seq := t.net.next(key)
+	d := t.net.spec.decideFor(t.net.seed, "client", t.from, to, route, seq)
+
+	if d.Latency > 0 {
+		t.net.record(Event{Side: "client", From: t.from, To: to, Route: route, Seq: seq, Kind: "delay", Delay: d.Latency})
+		if err := sleepCtx(req.Context(), d.Latency); err != nil {
+			return nil, err
+		}
+	}
+	if d.Drop {
+		t.net.record(Event{Side: "client", From: t.from, To: to, Route: route, Seq: seq, Kind: "drop"})
+		return nil, &dropError{fmt.Sprintf("chaos: dropped %s→%s %s", t.from, to, route)}
+	}
+	if d.Duplicate {
+		// Deliver the request twice; the duplicate's response is drained and
+		// discarded. The target observes a replay, which is exactly what a
+		// retransmitting network does to non-idempotent handlers.
+		if dup := cloneRequest(req); dup != nil {
+			t.net.record(Event{Side: "client", From: t.from, To: to, Route: route, Seq: seq, Kind: "duplicate"})
+			if resp, err := t.base.RoundTrip(dup); err == nil {
+				io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+				resp.Body.Close()
+			}
+		}
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if d.Corrupt {
+		t.net.record(Event{Side: "client", From: t.from, To: to, Route: route, Seq: seq, Kind: "corrupt"})
+		resp.Body = &corruptBody{rc: resp.Body, at: d.CorruptAt}
+	}
+	return resp, nil
+}
+
+// cloneRequest builds the duplicate delivery (nil when the body cannot be
+// replayed).
+func cloneRequest(req *http.Request) *http.Request {
+	dup := req.Clone(req.Context())
+	if req.Body == nil {
+		return dup
+	}
+	if req.GetBody == nil {
+		return nil
+	}
+	body, err := req.GetBody()
+	if err != nil {
+		return nil
+	}
+	dup.Body = body
+	return dup
+}
+
+// corruptBody flips one byte of the wrapped stream at offset `at`.
+type corruptBody struct {
+	rc  io.ReadCloser
+	at  int
+	pos int
+}
+
+func (c *corruptBody) Read(p []byte) (int, error) {
+	n, err := c.rc.Read(p)
+	if n > 0 && c.at >= c.pos && c.at < c.pos+n {
+		p[c.at-c.pos] ^= 0xff
+	}
+	c.pos += n
+	return n, err
+}
+
+func (c *corruptBody) Close() error { return c.rc.Close() }
+
+// Middleware wraps a node's handler with the fabric's server-side faults for
+// inbound peer traffic: partition enforcement (the connection is aborted, as
+// a real partition would present) and slow-drip response bodies. Requests
+// without the peer tag header pass through untouched.
+func (n *Network) Middleware(self string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		from := r.Header.Get(fromHeader)
+		if from == "" {
+			h.ServeHTTP(w, r)
+			return
+		}
+		route := r.URL.Path
+		if n.Partitioned(from, self) {
+			// The request "arrived" at a node the sender cannot reach — the
+			// backstop for fleets whose client side is not wrapped. Abort the
+			// connection so the caller sees a transport fault, not an HTTP
+			// status a partition could never deliver.
+			n.record(Event{Side: "server", From: from, To: self, Route: route, Kind: "partition"})
+			panic(http.ErrAbortHandler)
+		}
+		if !n.spec.matchesAny(from, self, route) {
+			h.ServeHTTP(w, r)
+			return
+		}
+		key := decisionKey("server", from, self, route)
+		seq := n.next(key)
+		d := n.spec.decideFor(n.seed, "server", from, self, route, seq)
+		if d.DripBytes > 0 {
+			n.record(Event{Side: "server", From: from, To: self, Route: route, Seq: seq, Kind: "drip"})
+			w = &dripWriter{ResponseWriter: w, ctx: r.Context(), chunk: d.DripBytes, delay: d.DripDelay}
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// dripWriter trickles response bytes out chunk by chunk with a delay between
+// chunks — the slow-loris shape that flushes out missing read deadlines and
+// unbounded buffering in peers.
+type dripWriter struct {
+	http.ResponseWriter
+	ctx   context.Context
+	chunk int
+	delay time.Duration
+}
+
+func (d *dripWriter) Write(p []byte) (int, error) {
+	wrote := 0
+	for len(p) > 0 {
+		nn := d.chunk
+		if nn > len(p) {
+			nn = len(p)
+		}
+		n, err := d.ResponseWriter.Write(p[:nn])
+		wrote += n
+		if err != nil {
+			return wrote, err
+		}
+		if f, ok := d.ResponseWriter.(http.Flusher); ok {
+			f.Flush()
+		}
+		p = p[nn:]
+		if len(p) > 0 && d.delay > 0 {
+			if err := sleepCtx(d.ctx, d.delay); err != nil {
+				return wrote, err
+			}
+		}
+	}
+	return wrote, nil
+}
+
+// sleepCtx sleeps d or returns early with the context's error.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}
+
+// String renders counters compactly for soak logs.
+func (c Counters) String() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "attempts=%d drops=%d partitions=%d corrupts=%d duplicates=%d delays=%d drips=%d",
+		c.Attempts, c.Drops, c.Partitions, c.Corrupts, c.Duplicates, c.Delays, c.Drips)
+	return b.String()
+}

@@ -2,6 +2,8 @@ package cluster
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -22,6 +24,7 @@ import (
 //	GET  /v1/peer/result/{hash}   canonical result by job hash (peer fill)
 //	POST /v1/peer/run             execute a job locally and return its result
 //	GET  /v1/peer/ckpt/{hash}     durable job snapshot (preemption migration)
+//	HEAD /v1/peer/ckpt/{hash}     snapshot presence probe (anti-entropy dedup)
 //	PUT  /v1/peer/ckpt/{hash}     store a replicated job snapshot
 //
 // The peer routes are the protocol spoken between members; the cluster
@@ -61,10 +64,15 @@ func writeError(w http.ResponseWriter, code int, err error) {
 
 // writeCanonical sends a result as its canonical JSON bytes, so a result
 // relayed through any number of peers stays byte-identical to the origin.
+// The digest header lets every receiver verify the bytes arrived intact and
+// charge the sender when they did not.
 func writeCanonical(w http.ResponseWriter, res *server.Result) {
+	b := res.Canonical()
+	sum := sha256.Sum256(b)
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(resultDigestHeader, hex.EncodeToString(sum[:]))
 	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write(res.Canonical())
+	_, _ = w.Write(b)
 }
 
 // dispatchResponse is the POST /v1/cluster/jobs payload.
@@ -256,10 +264,20 @@ func (n *Node) handlePeerResult(w http.ResponseWriter, r *http.Request) {
 // handlePeerCkptGet serves this node's durable snapshot of a job hash — the
 // read side of preemption migration: the node taking over a killed peer's job
 // asks the replicas for the last checkpoint before simulating from scratch.
+// HEAD (which the GET pattern also matches) answers presence without reading
+// the snapshot — the anti-entropy loop's dedup probe.
 func (n *Node) handlePeerCkptGet(w http.ResponseWriter, r *http.Request) {
 	hash := r.PathValue("hash")
 	if len(hash) != 64 {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("cluster: malformed job hash %q", hash))
+		return
+	}
+	if r.Method == http.MethodHead {
+		if n.local.HasCheckpoint(hash) {
+			w.WriteHeader(http.StatusNoContent)
+		} else {
+			w.WriteHeader(http.StatusNotFound)
+		}
 		return
 	}
 	snap, ok := n.local.CheckpointBytes(hash)

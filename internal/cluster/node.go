@@ -19,13 +19,22 @@
 // Peer health reuses the internal/breaker circuit breaker: transport faults
 // and 5xx responses open a peer's breaker, routing traffic around it until a
 // cooldown probe succeeds — a SIGKILLed node mid-sweep costs reroutes, not
-// the sweep.
+// the sweep. Integrity failures are harsher: every peer path re-verifies
+// response bytes (digest, canonical hash, snapshot envelope), and a peer
+// caught returning corrupt bytes more than QuarantineThreshold times is
+// exiled from all routing — corruption is not a transient to retry through.
+// Dispatch itself is bounded two ways: a per-dispatch deadline
+// (DispatchTimeout) and a per-dispatch attempt budget (AttemptBudget), so a
+// partitioned owner cannot trigger unbounded re-dispatch. Background loops
+// started with Start probe peer health off the hot path and run anti-entropy
+// repair so checkpoint replicas lost to a partition re-converge after heal.
 package cluster
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -59,14 +68,39 @@ type Config struct {
 	// exceed the local job timeout so remote execution is not the tighter
 	// constraint).
 	RequestTimeout time.Duration
+	// DispatchTimeout bounds one whole dispatch — every reroute and hedge
+	// included — so a hostile network cannot stretch a single job forever
+	// (default 2x RequestTimeout; negative disables the deadline).
+	DispatchTimeout time.Duration
+	// AttemptBudget caps candidate launches (first try, reroutes, and the
+	// hedge together) per dispatch, bounding retry storms under partitions
+	// (default member count + 1; negative removes the bound).
+	AttemptBudget int
 	// BreakerThreshold / BreakerCooldown configure each peer's health breaker
 	// (defaults 3 consecutive failures, 3s cooldown).
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+	// QuarantineThreshold is how many corrupt responses (failed digest, wrong
+	// hash, bad snapshot envelope) exile a peer from all routing for the rest
+	// of the process lifetime (default 3; negative disables quarantine).
+	QuarantineThreshold int
+	// ProbeTimeout bounds one health probe (default 1s) so a hung peer does
+	// not stall the probe loop for the full request budget.
+	ProbeTimeout time.Duration
+	// ProbeEvery, when positive, has Start run a background loop probing
+	// every peer's /v1/healthz, surfacing probe latency in /v1/cluster/info.
+	ProbeEvery time.Duration
+	// AntiEntropyEvery, when positive, has Start run a background repair
+	// loop re-replicating local checkpoints whose ring replica lacks a copy.
+	AntiEntropyEvery time.Duration
 	// SweepParallel bounds concurrently in-flight points of one cluster
 	// sweep (default 2 x local workers x member count: enough to saturate
 	// the fleet's pools with headroom for cache hits).
 	SweepParallel int
+	// Transport overrides the peer HTTP transport. The chaos fabric injects
+	// its fault-injecting RoundTripper here; nil uses the standard pooled
+	// transport.
+	Transport http.RoundTripper
 }
 
 func (c Config) withDefaults(workers, members int) Config {
@@ -88,11 +122,23 @@ func (c Config) withDefaults(workers, members int) Config {
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 2 * time.Minute
 	}
+	if c.DispatchTimeout == 0 {
+		c.DispatchTimeout = 2 * c.RequestTimeout
+	}
+	if c.AttemptBudget == 0 {
+		c.AttemptBudget = members + 1
+	}
 	if c.BreakerThreshold == 0 {
 		c.BreakerThreshold = 3
 	}
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 3 * time.Second
+	}
+	if c.QuarantineThreshold == 0 {
+		c.QuarantineThreshold = 3
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
 	}
 	if c.SweepParallel <= 0 {
 		c.SweepParallel = 2 * workers * members
@@ -100,15 +146,30 @@ func (c Config) withDefaults(workers, members int) Config {
 	return c
 }
 
-// peerState is one remote member: its address and health breaker.
+// peerState is one remote member: its address, health breaker, integrity
+// record, and last health-probe observation.
 type peerState struct {
 	id  string
 	url string
 	brk *breaker.Breaker
+
+	corrupt     atomic.Uint64 // integrity failures observed from this peer
+	quarantined atomic.Bool   // exiled from all routing (corruption threshold hit)
+
+	probeStatus atomic.Int64 // last probe HTTP status; 0 = probe failed
+	probeNanos  atomic.Int64 // last probe round-trip time
+	probeAt     atomic.Int64 // unix nanos of the last probe, 0 = never probed
+}
+
+// routable reports whether the peer may be sent traffic at all: quarantine is
+// absolute (corrupt bytes are not a transient), the breaker is advisory.
+func (ps *peerState) routable() bool {
+	return !ps.quarantined.Load() && ps.brk.Ready()
 }
 
 // Node is one cluster member. Create with NewNode; it installs the peer
 // cache-fill hook and the cluster Prometheus collector on the local server.
+// Start launches the configured background loops; Close stops them.
 type Node struct {
 	cfg    Config
 	local  *server.Server
@@ -118,6 +179,9 @@ type Node struct {
 	fillsf *flightGroup
 	lat    *latWindow
 	m      clusterMetrics
+
+	stop chan struct{}
+	wg   sync.WaitGroup
 }
 
 // NewNode builds the cluster layer over a local scheduler. The membership in
@@ -147,7 +211,7 @@ func NewNode(local *server.Server, cfg Config) (*Node, error) {
 		local:  local,
 		ring:   ring,
 		peers:  make(map[string]*peerState),
-		client: NewClient(cfg.RequestTimeout),
+		client: NewClient(cfg.RequestTimeout, cfg.ProbeTimeout, cfg.Transport),
 		fillsf: newFlightGroup(),
 		lat:    newLatWindow(128),
 	}
@@ -172,9 +236,154 @@ func NewNode(local *server.Server, cfg Config) (*Node, error) {
 	return n, nil
 }
 
+// Start launches the node's configured background loops: health probing
+// (ProbeEvery) and checkpoint anti-entropy (AntiEntropyEvery). Idempotent
+// until Close.
+func (n *Node) Start() {
+	if n.stop != nil || len(n.peers) == 0 {
+		return
+	}
+	n.stop = make(chan struct{})
+	if n.cfg.ProbeEvery > 0 {
+		n.wg.Add(1)
+		go n.loop(n.cfg.ProbeEvery, n.ProbePeers)
+	}
+	if n.cfg.AntiEntropyEvery > 0 {
+		n.wg.Add(1)
+		go n.loop(n.cfg.AntiEntropyEvery, func(ctx context.Context) { n.AntiEntropy(ctx) })
+	}
+}
+
+// Close stops the background loops started by Start and waits for them.
+func (n *Node) Close() {
+	if n.stop == nil {
+		return
+	}
+	close(n.stop)
+	n.wg.Wait()
+	n.stop = nil
+}
+
+// loop drives one background pass function on a fixed period until Close.
+func (n *Node) loop(every time.Duration, pass func(context.Context)) {
+	defer n.wg.Done()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-n.stop
+		cancel()
+	}()
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-tick.C:
+			pass(ctx)
+		}
+	}
+}
+
+// ProbePeers probes every peer's health endpoint once, recording status and
+// round-trip latency for /v1/cluster/info. Probes are observational: the
+// breaker is driven by real traffic, not probes, so a probe burst can never
+// flap routing on its own.
+func (n *Node) ProbePeers(ctx context.Context) {
+	for _, ps := range n.peers {
+		status, took, err := n.client.Health(ctx, ps.url)
+		n.m.probes.Add(1)
+		ps.probeAt.Store(time.Now().UnixNano())
+		ps.probeNanos.Store(int64(took))
+		if err != nil {
+			ps.probeStatus.Store(0)
+			n.m.probeFailures.Add(1)
+			continue
+		}
+		ps.probeStatus.Store(int64(status))
+	}
+}
+
+// AntiEntropy runs one checkpoint repair pass: for every locally held
+// snapshot, make sure the first routable non-self member in its ring order
+// holds a copy, pushing ours if not. This is the convergence half of
+// partition tolerance — replication during the partition was best-effort and
+// may have silently under-replicated; after heal, this pass restores the
+// replica without waiting for the job's next barrier. Returns how many
+// snapshots were re-replicated.
+func (n *Node) AntiEntropy(ctx context.Context) int {
+	if len(n.peers) == 0 {
+		return 0
+	}
+	repaired := 0
+	for _, hash := range n.local.CheckpointHashes() {
+		if ctx.Err() != nil {
+			break
+		}
+		for _, id := range n.ring.Order(hash) {
+			if id == n.cfg.SelfID {
+				continue
+			}
+			ps := n.peers[id]
+			if !ps.routable() {
+				continue
+			}
+			hctx, hcancel := context.WithTimeout(ctx, 5*time.Second)
+			have, err := n.client.HasCkpt(hctx, ps.url, hash)
+			hcancel()
+			if err != nil {
+				n.chargePeer(ps, err)
+				continue // try the next replica candidate
+			}
+			if have {
+				ps.brk.RecordSuccess()
+				break // replica intact; next hash
+			}
+			snap, ok := n.local.CheckpointBytes(hash)
+			if !ok {
+				break // dropped since listing (job finished); nothing to repair
+			}
+			pctx, pcancel := context.WithTimeout(ctx, 5*time.Second)
+			err = n.client.PushCkpt(pctx, ps.url, hash, snap)
+			pcancel()
+			if err != nil {
+				n.m.ckptReplErrors.Add(1)
+				n.chargePeer(ps, err)
+				continue
+			}
+			ps.brk.RecordSuccess()
+			n.m.ckptRepaired.Add(1)
+			repaired++
+			break // one replica is the replication factor
+		}
+	}
+	return repaired
+}
+
+// chargePeer converts a failed peer call into health bookkeeping: corrupt
+// responses count toward quarantine, transport faults and 5xx charge the
+// breaker. Safe to call with any error; non-peerErrors are ignored.
+func (n *Node) chargePeer(ps *peerState, err error) {
+	var pe *peerError
+	if !errors.As(err, &pe) {
+		return
+	}
+	if pe.corrupt {
+		n.m.corruptResponses.Add(1)
+		if c := ps.corrupt.Add(1); n.cfg.QuarantineThreshold > 0 &&
+			c == uint64(n.cfg.QuarantineThreshold) {
+			ps.quarantined.Store(true)
+			n.m.quarantines.Add(1)
+		}
+	}
+	if pe.countsAgainstPeer() {
+		ps.brk.RecordFailure()
+	}
+}
+
 // replicateCkpt is the server.CkptReplicateFunc installed on the local
 // scheduler: every checkpoint the scheduler saves is pushed, best-effort, to
-// the first healthy non-self member in the hash's ring order. With one
+// the first routable non-self member in the hash's ring order. With one
 // replica per barrier, a SIGKILLed node costs only the work since the last
 // barrier — the successor resumes from its copy when the job is resubmitted.
 func (n *Node) replicateCkpt(hash string, snap []byte) {
@@ -183,7 +392,7 @@ func (n *Node) replicateCkpt(hash string, snap []byte) {
 			continue
 		}
 		ps := n.peers[id]
-		if !ps.brk.Ready() {
+		if !ps.routable() {
 			continue
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -191,10 +400,7 @@ func (n *Node) replicateCkpt(hash string, snap []byte) {
 		cancel()
 		if err != nil {
 			n.m.ckptReplErrors.Add(1)
-			var pe *peerError
-			if errors.As(err, &pe) && pe.countsAgainstPeer() {
-				ps.brk.RecordFailure()
-			}
+			n.chargePeer(ps, err)
 			continue // try the next replica; any surviving copy is enough
 		}
 		ps.brk.RecordSuccess()
@@ -225,17 +431,14 @@ func (n *Node) recoverCkpt(ctx context.Context, p *server.Plan) {
 			break
 		}
 		ps := n.peers[id]
-		if !ps.brk.Ready() {
+		if !ps.routable() {
 			continue
 		}
 		fctx, fcancel := context.WithTimeout(ctx, 5*time.Second)
 		snap, ok, err := n.client.FetchCkpt(fctx, ps.url, hash)
 		fcancel()
 		if err != nil {
-			var pe *peerError
-			if errors.As(err, &pe) && pe.countsAgainstPeer() {
-				ps.brk.RecordFailure()
-			}
+			n.chargePeer(ps, err)
 			continue
 		}
 		ps.brk.RecordSuccess()
@@ -256,6 +459,13 @@ func (n *Node) Local() *server.Server { return n.local }
 // and tooling that want to steer jobs at specific members).
 func (n *Node) Owner(hash string) string { return n.ring.Owner(hash) }
 
+// Quarantined reports whether a peer has been exiled for returning corrupt
+// bytes (exported for tooling and the chaos soak's assertions).
+func (n *Node) Quarantined(id string) bool {
+	ps, ok := n.peers[id]
+	return ok && ps.quarantined.Load()
+}
+
 // Route describes where one dispatch went.
 type Route struct {
 	Hash string `json:"hash"`
@@ -266,16 +476,26 @@ type Route struct {
 	Hedged   bool   `json:"hedged,omitempty"`
 	HedgeWon bool   `json:"hedge_won,omitempty"`
 	Reroutes int    `json:"reroutes,omitempty"`
+	// Attempts is how many candidate launches this dispatch consumed (first
+	// try + reroutes + hedge), always bounded by the attempt budget.
+	Attempts int `json:"attempts,omitempty"`
 }
 
 // Dispatch routes one job to the ring owner of its canonical hash and waits
 // for the result, hedging to the next replica past the straggler budget and
 // rerouting around failed peers. The local node is always the candidate of
-// last resort, so a dispatch succeeds whenever the job can run at all.
+// last resort, so a dispatch succeeds whenever the job can run at all. The
+// whole dispatch — reroutes and hedge included — runs under DispatchTimeout
+// and never launches more than AttemptBudget candidates.
 func (n *Node) Dispatch(ctx context.Context, spec server.JobSpec) (*server.Result, Route, error) {
 	p, err := spec.Compile()
 	if err != nil {
 		return nil, Route{}, err
+	}
+	if n.cfg.DispatchTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, n.cfg.DispatchTimeout)
+		defer cancel()
 	}
 	hash := p.Hash()
 	order := n.ring.Order(hash)
@@ -283,7 +503,8 @@ func (n *Node) Dispatch(ctx context.Context, spec server.JobSpec) (*server.Resul
 
 	// Candidate chain: ring order with unhealthy peers pushed behind healthy
 	// ones (still reachable as a desperation move — Ready is a snapshot, and
-	// a half-open peer may have recovered). Self is always "healthy".
+	// a half-open peer may have recovered). Quarantined peers are excluded
+	// outright: their bytes cannot be trusted. Self is always "healthy".
 	chain := make([]string, 0, len(order))
 	var unhealthy []string
 	for _, id := range order {
@@ -291,7 +512,11 @@ func (n *Node) Dispatch(ctx context.Context, spec server.JobSpec) (*server.Resul
 			chain = append(chain, id)
 			continue
 		}
-		if n.peers[id].brk.Ready() {
+		ps := n.peers[id]
+		if ps.quarantined.Load() {
+			continue
+		}
+		if ps.brk.Ready() {
 			chain = append(chain, id)
 		} else {
 			unhealthy = append(unhealthy, id)
@@ -321,6 +546,8 @@ type outcome struct {
 // plus at most one hedge launch when the straggler budget expires. First
 // successful answer wins; the shared context cancellation reaps the losers
 // (a canceled peer run cancels the remote job too, via the request context).
+// Launches stop once the attempt budget is spent — under a partition the
+// dispatch then fails fast instead of storming the fleet with retries.
 func (n *Node) race(ctx context.Context, spec server.JobSpec, chain []string, route *Route) (*server.Result, string, error) {
 	rctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -328,10 +555,15 @@ func (n *Node) race(ctx context.Context, spec server.JobSpec, chain []string, ro
 	resc := make(chan outcome, len(chain))
 	next := 0
 	launch := func(hedge bool) bool {
+		if n.cfg.AttemptBudget > 0 && route.Attempts >= n.cfg.AttemptBudget {
+			n.m.budgetExhausted.Add(1)
+			return false
+		}
 		for next < len(chain) {
 			id := chain[next]
 			next++
 			if id == n.cfg.SelfID {
+				route.Attempts++
 				n.m.dispatchLocal.Add(1)
 				go func() {
 					res, err := n.runLocal(rctx, spec)
@@ -340,13 +572,14 @@ func (n *Node) race(ctx context.Context, spec server.JobSpec, chain []string, ro
 				return true
 			}
 			ps := n.peers[id]
-			if ok, _ := ps.brk.Allow(); !ok {
-				continue // breaker slammed shut since chain ordering; skip
+			if ok, _ := ps.brk.Allow(); !ok || ps.quarantined.Load() {
+				continue // shut out since chain ordering; skip
 			}
+			route.Attempts++
 			n.m.dispatchRemote.Add(1)
 			go func() {
 				start := time.Now()
-				res, err := n.client.Run(rctx, ps.url, spec)
+				res, err := n.client.Run(rctx, ps.url, spec, route.Hash)
 				resc <- outcome{res: res, id: id, err: err, remote: true,
 					hedge: hedge, took: time.Since(start)}
 			}()
@@ -381,10 +614,7 @@ func (n *Node) race(ctx context.Context, spec server.JobSpec, chain []string, ro
 				return o.res, o.id, nil
 			}
 			if o.remote {
-				var pe *peerError
-				if errors.As(o.err, &pe) && pe.countsAgainstPeer() {
-					ps.brk.RecordFailure()
-				}
+				n.chargePeer(ps, o.err)
 			}
 			if rctx.Err() != nil {
 				return nil, "", ctx.Err()
@@ -404,7 +634,8 @@ func (n *Node) race(ctx context.Context, spec server.JobSpec, chain []string, ro
 			}
 		}
 	}
-	return nil, "", fmt.Errorf("cluster: every candidate failed, last error: %w", lastErr)
+	return nil, "", fmt.Errorf("cluster: every candidate failed after %d attempts, last error: %w",
+		route.Attempts, lastErr)
 }
 
 // runLocal executes a job on the local scheduler, absorbing queue-full
@@ -489,7 +720,7 @@ func (n *Node) fillFromPeers(ctx context.Context, hash string) (*server.Result, 
 				break // owner and first replica only; after that, simulate
 			}
 			ps := n.peers[id]
-			if !ps.brk.Ready() {
+			if !ps.routable() {
 				continue
 			}
 			fctx, fcancel := context.WithTimeout(ctx, n.cfg.FillWait+2*time.Second)
@@ -497,10 +728,7 @@ func (n *Node) fillFromPeers(ctx context.Context, hash string) (*server.Result, 
 			fcancel()
 			if err != nil {
 				n.m.peerFillErrors.Add(1)
-				var pe *peerError
-				if errors.As(err, &pe) && pe.countsAgainstPeer() {
-					ps.brk.RecordFailure()
-				}
+				n.chargePeer(ps, err)
 				continue
 			}
 			ps.brk.RecordSuccess()
@@ -521,22 +749,28 @@ func (n *Node) fillFromPeers(ctx context.Context, hash string) (*server.Result, 
 // clusterMetrics are the cluster-layer counters, exported via
 // /v1/cluster/info and merged into /v1/metrics/prom.
 type clusterMetrics struct {
-	dispatchLocal  atomic.Uint64
-	dispatchRemote atomic.Uint64
-	hedgesFired    atomic.Uint64
-	hedgesWon      atomic.Uint64
-	reroutes       atomic.Uint64
-	peerFillHits   atomic.Uint64
-	peerFillMisses atomic.Uint64
-	peerFillErrors atomic.Uint64
-	peerFillShared atomic.Uint64
-	peerServeHits  atomic.Uint64
-	peerServeMiss  atomic.Uint64
-	peerRuns       atomic.Uint64
-	ckptReplicated atomic.Uint64
-	ckptReplErrors atomic.Uint64
-	ckptReceived   atomic.Uint64
-	ckptRecovered  atomic.Uint64
+	dispatchLocal    atomic.Uint64
+	dispatchRemote   atomic.Uint64
+	hedgesFired      atomic.Uint64
+	hedgesWon        atomic.Uint64
+	reroutes         atomic.Uint64
+	budgetExhausted  atomic.Uint64
+	peerFillHits     atomic.Uint64
+	peerFillMisses   atomic.Uint64
+	peerFillErrors   atomic.Uint64
+	peerFillShared   atomic.Uint64
+	peerServeHits    atomic.Uint64
+	peerServeMiss    atomic.Uint64
+	peerRuns         atomic.Uint64
+	corruptResponses atomic.Uint64
+	quarantines      atomic.Uint64
+	probes           atomic.Uint64
+	probeFailures    atomic.Uint64
+	ckptReplicated   atomic.Uint64
+	ckptReplErrors   atomic.Uint64
+	ckptReceived     atomic.Uint64
+	ckptRecovered    atomic.Uint64
+	ckptRepaired     atomic.Uint64
 }
 
 // PeerInfo is one member's health view in InfoSnapshot.
@@ -545,55 +779,74 @@ type PeerInfo struct {
 	URL          string `json:"url,omitempty"`
 	Breaker      string `json:"breaker"`
 	BreakerOpens uint64 `json:"breaker_opens,omitempty"`
+	Quarantined  bool   `json:"quarantined,omitempty"`
+	Corrupt      uint64 `json:"corrupt_responses,omitempty"`
+	// ProbeStatus is the HTTP status of the last health probe (0 = probe
+	// failed); ProbeMs is its round-trip time. Absent until the first probe.
+	ProbeStatus int     `json:"probe_status,omitempty"`
+	ProbeMs     float64 `json:"probe_ms,omitempty"`
 }
 
 // InfoSnapshot is the JSON shape of GET /v1/cluster/info.
 type InfoSnapshot struct {
-	Self           string     `json:"self"`
-	VNodes         int        `json:"vnodes"`
-	Peers          []PeerInfo `json:"peers"`
-	PeersUnhealthy int        `json:"peers_unhealthy"`
-	HedgeBudgetMs  float64    `json:"hedge_budget_ms"`
-	DispatchLocal  uint64     `json:"dispatch_local"`
-	DispatchRemote uint64     `json:"dispatch_remote"`
-	HedgesFired    uint64     `json:"hedges_fired"`
-	HedgesWon      uint64     `json:"hedges_won"`
-	Reroutes       uint64     `json:"reroutes"`
-	PeerFillHits   uint64     `json:"peer_fill_hits"`
-	PeerFillMisses uint64     `json:"peer_fill_misses"`
-	PeerFillErrors uint64     `json:"peer_fill_errors"`
-	PeerFillShared uint64     `json:"peer_fill_shared"`
-	PeerServeHits  uint64     `json:"peer_serve_hits"`
-	PeerServeMiss  uint64     `json:"peer_serve_misses"`
-	PeerRuns       uint64     `json:"peer_runs"`
-	CkptReplicated uint64     `json:"ckpt_replicated"`
-	CkptReplErrors uint64     `json:"ckpt_repl_errors"`
-	CkptReceived   uint64     `json:"ckpt_received"`
-	CkptRecovered  uint64     `json:"ckpt_recovered"`
+	Self             string     `json:"self"`
+	VNodes           int        `json:"vnodes"`
+	Peers            []PeerInfo `json:"peers"`
+	PeersUnhealthy   int        `json:"peers_unhealthy"`
+	PeersQuarantined int        `json:"peers_quarantined"`
+	HedgeBudgetMs    float64    `json:"hedge_budget_ms"`
+	DispatchLocal    uint64     `json:"dispatch_local"`
+	DispatchRemote   uint64     `json:"dispatch_remote"`
+	HedgesFired      uint64     `json:"hedges_fired"`
+	HedgesWon        uint64     `json:"hedges_won"`
+	Reroutes         uint64     `json:"reroutes"`
+	BudgetExhausted  uint64     `json:"budget_exhausted"`
+	PeerFillHits     uint64     `json:"peer_fill_hits"`
+	PeerFillMisses   uint64     `json:"peer_fill_misses"`
+	PeerFillErrors   uint64     `json:"peer_fill_errors"`
+	PeerFillShared   uint64     `json:"peer_fill_shared"`
+	PeerServeHits    uint64     `json:"peer_serve_hits"`
+	PeerServeMiss    uint64     `json:"peer_serve_misses"`
+	PeerRuns         uint64     `json:"peer_runs"`
+	CorruptResponses uint64     `json:"corrupt_responses"`
+	Quarantines      uint64     `json:"quarantines"`
+	Probes           uint64     `json:"probes"`
+	ProbeFailures    uint64     `json:"probe_failures"`
+	CkptReplicated   uint64     `json:"ckpt_replicated"`
+	CkptReplErrors   uint64     `json:"ckpt_repl_errors"`
+	CkptReceived     uint64     `json:"ckpt_received"`
+	CkptRecovered    uint64     `json:"ckpt_recovered"`
+	CkptRepaired     uint64     `json:"ckpt_repaired"`
 }
 
 // Info snapshots the cluster state and counters.
 func (n *Node) Info() InfoSnapshot {
 	s := InfoSnapshot{
-		Self:           n.cfg.SelfID,
-		VNodes:         n.cfg.VNodes,
-		HedgeBudgetMs:  float64(n.hedgeDelay()) / float64(time.Millisecond),
-		DispatchLocal:  n.m.dispatchLocal.Load(),
-		DispatchRemote: n.m.dispatchRemote.Load(),
-		HedgesFired:    n.m.hedgesFired.Load(),
-		HedgesWon:      n.m.hedgesWon.Load(),
-		Reroutes:       n.m.reroutes.Load(),
-		PeerFillHits:   n.m.peerFillHits.Load(),
-		PeerFillMisses: n.m.peerFillMisses.Load(),
-		PeerFillErrors: n.m.peerFillErrors.Load(),
-		PeerFillShared: n.m.peerFillShared.Load(),
-		PeerServeHits:  n.m.peerServeHits.Load(),
-		PeerServeMiss:  n.m.peerServeMiss.Load(),
-		PeerRuns:       n.m.peerRuns.Load(),
-		CkptReplicated: n.m.ckptReplicated.Load(),
-		CkptReplErrors: n.m.ckptReplErrors.Load(),
-		CkptReceived:   n.m.ckptReceived.Load(),
-		CkptRecovered:  n.m.ckptRecovered.Load(),
+		Self:             n.cfg.SelfID,
+		VNodes:           n.cfg.VNodes,
+		HedgeBudgetMs:    float64(n.hedgeDelay()) / float64(time.Millisecond),
+		DispatchLocal:    n.m.dispatchLocal.Load(),
+		DispatchRemote:   n.m.dispatchRemote.Load(),
+		HedgesFired:      n.m.hedgesFired.Load(),
+		HedgesWon:        n.m.hedgesWon.Load(),
+		Reroutes:         n.m.reroutes.Load(),
+		BudgetExhausted:  n.m.budgetExhausted.Load(),
+		PeerFillHits:     n.m.peerFillHits.Load(),
+		PeerFillMisses:   n.m.peerFillMisses.Load(),
+		PeerFillErrors:   n.m.peerFillErrors.Load(),
+		PeerFillShared:   n.m.peerFillShared.Load(),
+		PeerServeHits:    n.m.peerServeHits.Load(),
+		PeerServeMiss:    n.m.peerServeMiss.Load(),
+		PeerRuns:         n.m.peerRuns.Load(),
+		CorruptResponses: n.m.corruptResponses.Load(),
+		Quarantines:      n.m.quarantines.Load(),
+		Probes:           n.m.probes.Load(),
+		ProbeFailures:    n.m.probeFailures.Load(),
+		CkptReplicated:   n.m.ckptReplicated.Load(),
+		CkptReplErrors:   n.m.ckptReplErrors.Load(),
+		CkptReceived:     n.m.ckptReceived.Load(),
+		CkptRecovered:    n.m.ckptRecovered.Load(),
+		CkptRepaired:     n.m.ckptRepaired.Load(),
 	}
 	ids := make([]string, 0, len(n.peers))
 	for id := range n.peers {
@@ -603,9 +856,24 @@ func (n *Node) Info() InfoSnapshot {
 	for _, id := range ids {
 		ps := n.peers[id]
 		state, _, opens := ps.brk.Snapshot()
-		s.Peers = append(s.Peers, PeerInfo{ID: id, URL: ps.url, Breaker: state, BreakerOpens: opens})
+		pi := PeerInfo{
+			ID:           id,
+			URL:          ps.url,
+			Breaker:      state,
+			BreakerOpens: opens,
+			Quarantined:  ps.quarantined.Load(),
+			Corrupt:      ps.corrupt.Load(),
+		}
+		if ps.probeAt.Load() != 0 {
+			pi.ProbeStatus = int(ps.probeStatus.Load())
+			pi.ProbeMs = float64(ps.probeNanos.Load()) / 1e6
+		}
+		s.Peers = append(s.Peers, pi)
 		if state == breaker.Open {
 			s.PeersUnhealthy++
+		}
+		if pi.Quarantined {
+			s.PeersQuarantined++
 		}
 	}
 	return s

@@ -3,6 +3,8 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -11,6 +13,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/server"
 )
 
@@ -24,43 +27,63 @@ type Peer struct {
 // Client is the HTTP client side of the peer protocol. One Client is shared
 // by a node for all peers; the transport keeps per-host connection pools.
 type Client struct {
-	http *http.Client
+	http         *http.Client
+	probeTimeout time.Duration
 }
 
 // NewClient returns a peer client. timeout bounds whole requests including
-// the remote job execution; dial/TLS setup gets a tighter bound so a dead
-// peer fails fast instead of consuming the whole request budget.
-func NewClient(timeout time.Duration) *Client {
-	return &Client{http: &http.Client{
-		Timeout: timeout,
-		Transport: &http.Transport{
+// the remote job execution; probeTimeout bounds one health probe (so a hung
+// peer cannot stall probing for the full request budget). rt overrides the
+// transport — the chaos fabric injects itself here; nil builds the standard
+// pooled transport with a tight dial bound so a dead peer fails fast.
+func NewClient(timeout, probeTimeout time.Duration, rt http.RoundTripper) *Client {
+	if rt == nil {
+		rt = &http.Transport{
 			DialContext:         (&net.Dialer{Timeout: 2 * time.Second}).DialContext,
 			MaxIdleConnsPerHost: 16,
 			IdleConnTimeout:     30 * time.Second,
-		},
-	}}
+		}
+	}
+	if probeTimeout <= 0 {
+		probeTimeout = time.Second
+	}
+	return &Client{
+		http:         &http.Client{Timeout: timeout, Transport: rt},
+		probeTimeout: probeTimeout,
+	}
 }
 
 // peerError classifies a failed peer call so the dispatcher can decide
-// whether to charge the peer's breaker (transport faults and 5xx responses)
-// or just route around momentary pushback (429/503 load shedding).
+// whether to charge the peer's breaker (transport faults and 5xx responses),
+// count it toward quarantine (corrupt bytes), or just route around momentary
+// pushback (429/503 load shedding).
 type peerError struct {
 	status    int // 0 for transport errors
 	transport bool
+	corrupt   bool // response failed an integrity check (digest, hash, envelope)
 	msg       string
 }
 
 func (e *peerError) Error() string {
-	if e.transport {
+	switch {
+	case e.corrupt:
+		return "peer corrupt: " + e.msg
+	case e.transport:
 		return "peer transport: " + e.msg
+	default:
+		return fmt.Sprintf("peer status %d: %s", e.status, e.msg)
 	}
-	return fmt.Sprintf("peer status %d: %s", e.status, e.msg)
 }
 
 // countsAgainstPeer reports whether the failure indicates peer ill-health.
 func (e *peerError) countsAgainstPeer() bool {
-	return e.transport || e.status >= 500
+	return e.corrupt || e.transport || e.status >= 500
 }
+
+// resultDigestHeader carries a SHA-256 over the canonical result bytes.
+// Every peer path verifies it, so a single flipped byte anywhere on the wire
+// is detected and charged to the sending peer instead of poisoning a sweep.
+const resultDigestHeader = "X-Result-Digest"
 
 // FetchResult asks baseURL for the cached result of a canonical job hash
 // (GET /v1/peer/result/{hash}). wait > 0 lets the owner hold the request for
@@ -82,7 +105,7 @@ func (c *Client) FetchResult(ctx context.Context, baseURL, hash string, wait tim
 	defer resp.Body.Close()
 	switch resp.StatusCode {
 	case http.StatusOK:
-		res, err := decodeResult(resp.Body, hash)
+		res, err := decodeResult(resp, hash)
 		if err != nil {
 			return nil, false, err
 		}
@@ -97,8 +120,10 @@ func (c *Client) FetchResult(ctx context.Context, baseURL, hash string, wait tim
 
 // Run executes a job on baseURL and waits for its result
 // (POST /v1/peer/run). The body is the canonical result JSON, so results
-// forwarded through any number of peers stay byte-identical.
-func (c *Client) Run(ctx context.Context, baseURL string, spec server.JobSpec) (*server.Result, error) {
+// forwarded through any number of peers stay byte-identical. wantHash is the
+// job's canonical hash; the response must carry it (a corrupt or confused
+// peer answering for the wrong job is rejected like peer fills already are).
+func (c *Client) Run(ctx context.Context, baseURL string, spec server.JobSpec, wantHash string) (*server.Result, error) {
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return nil, err
@@ -117,7 +142,7 @@ func (c *Client) Run(ctx context.Context, baseURL string, spec server.JobSpec) (
 	if resp.StatusCode != http.StatusOK {
 		return nil, readPeerError(resp)
 	}
-	return decodeResult(resp.Body, "")
+	return decodeResult(resp, wantHash)
 }
 
 // maxCkptBytes bounds a peer snapshot body. Snapshots are full system images
@@ -125,7 +150,9 @@ func (c *Client) Run(ctx context.Context, baseURL string, spec server.JobSpec) (
 const maxCkptBytes = 64 << 20
 
 // FetchCkpt asks baseURL for its durable snapshot of a canonical job hash
-// (GET /v1/peer/ckpt/{hash}). ok=false with nil error is a clean miss.
+// (GET /v1/peer/ckpt/{hash}). The envelope is validated before the bytes are
+// handed back, so a peer serving corrupt snapshots is charged rather than
+// trusted. ok=false with nil error is a clean miss.
 func (c *Client) FetchCkpt(ctx context.Context, baseURL, hash string) ([]byte, bool, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 		baseURL+"/v1/peer/ckpt/"+hash, nil)
@@ -139,9 +166,20 @@ func (c *Client) FetchCkpt(ctx context.Context, baseURL, hash string) ([]byte, b
 	defer resp.Body.Close()
 	switch resp.StatusCode {
 	case http.StatusOK:
-		snap, err := io.ReadAll(io.LimitReader(resp.Body, maxCkptBytes))
+		// Read one byte past the bound: exactly maxCkptBytes+1 read means the
+		// body was larger, which must be an explicit error — silently clipping
+		// a snapshot would resume the job from torn state.
+		snap, err := io.ReadAll(io.LimitReader(resp.Body, maxCkptBytes+1))
 		if err != nil {
 			return nil, false, &peerError{transport: true, msg: err.Error()}
+		}
+		if len(snap) > maxCkptBytes {
+			return nil, false, &peerError{status: resp.StatusCode,
+				msg: fmt.Sprintf("snapshot too large (over %d bytes)", maxCkptBytes)}
+		}
+		if _, err := ckpt.Open(snap); err != nil {
+			return nil, false, &peerError{corrupt: true,
+				msg: "snapshot failed envelope validation: " + err.Error()}
 		}
 		return snap, true, nil
 	case http.StatusNotFound:
@@ -149,6 +187,31 @@ func (c *Client) FetchCkpt(ctx context.Context, baseURL, hash string) ([]byte, b
 		return nil, false, nil
 	default:
 		return nil, false, readPeerError(resp)
+	}
+}
+
+// HasCkpt asks baseURL whether it holds a snapshot for hash
+// (HEAD /v1/peer/ckpt/{hash}) — the anti-entropy dedup probe, cheap enough
+// to run for every locally held snapshot each repair pass.
+func (c *Client) HasCkpt(ctx context.Context, baseURL, hash string) (bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodHead,
+		baseURL+"/v1/peer/ckpt/"+hash, nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return false, &peerError{transport: true, msg: err.Error()}
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusNoContent:
+		return true, nil
+	case http.StatusNotFound:
+		return false, nil
+	default:
+		return false, &peerError{status: resp.StatusCode, msg: resp.Status}
 	}
 }
 
@@ -174,31 +237,54 @@ func (c *Client) PushCkpt(ctx context.Context, baseURL, hash string, snap []byte
 	return nil
 }
 
-// Health probes baseURL's /v1/healthz, returning the raw status code (a 503
-// from a draining or degraded node is a valid, readable answer).
-func (c *Client) Health(ctx context.Context, baseURL string) (int, error) {
+// Health probes baseURL's /v1/healthz under the client's own probe timeout
+// (one hung peer must not stall probing for the full peer-run budget),
+// returning the status code and the probe round-trip time. A 503 from a
+// draining or degraded node is a valid, readable answer.
+func (c *Client) Health(ctx context.Context, baseURL string) (int, time.Duration, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.probeTimeout)
+	defer cancel()
+	start := time.Now()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/healthz", nil)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return 0, &peerError{transport: true, msg: err.Error()}
+		return 0, time.Since(start), &peerError{transport: true, msg: err.Error()}
 	}
 	defer resp.Body.Close()
 	io.Copy(io.Discard, resp.Body)
-	return resp.StatusCode, nil
+	return resp.StatusCode, time.Since(start), nil
 }
 
-// decodeResult parses a canonical result body, verifying the hash when the
-// caller knows which job it asked for (integrity check on peer fills).
-func decodeResult(r io.Reader, wantHash string) (*server.Result, error) {
+// decodeResult reads and parses a canonical result body, verifying the
+// response digest (when sent) and the job hash (when the caller knows which
+// job it asked for). Integrity failures come back as corrupt peerErrors so
+// the dispatcher can quarantine the sender.
+func decodeResult(resp *http.Response, wantHash string) (*server.Result, error) {
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxResultBytes+1))
+	if err != nil {
+		return nil, &peerError{transport: true, msg: "reading peer result: " + err.Error()}
+	}
+	if len(body) > maxResultBytes {
+		return nil, &peerError{status: resp.StatusCode, msg: "peer result exceeds size bound"}
+	}
+	if want := resp.Header.Get(resultDigestHeader); want != "" {
+		sum := sha256.Sum256(body)
+		if got := hex.EncodeToString(sum[:]); got != want {
+			return nil, &peerError{corrupt: true, status: resp.StatusCode,
+				msg: fmt.Sprintf("result digest mismatch: body %.12s, header %.12s", got, want)}
+		}
+	}
 	var res server.Result
-	if err := json.NewDecoder(io.LimitReader(r, maxResultBytes)).Decode(&res); err != nil {
-		return nil, fmt.Errorf("cluster: decoding peer result: %v", err)
+	if err := json.Unmarshal(body, &res); err != nil {
+		return nil, &peerError{corrupt: true, status: resp.StatusCode,
+			msg: "undecodable peer result: " + err.Error()}
 	}
 	if wantHash != "" && res.Hash != wantHash {
-		return nil, fmt.Errorf("cluster: peer returned result for hash %.12s, want %.12s", res.Hash, wantHash)
+		return nil, &peerError{corrupt: true, status: resp.StatusCode,
+			msg: fmt.Sprintf("peer returned result for hash %.12s, want %.12s", res.Hash, wantHash)}
 	}
 	return &res, nil
 }

@@ -23,6 +23,7 @@ func (n *Node) writeProm(w io.Writer) error {
 	counter("nvmcluster_hedges_fired_total", "Straggler dispatches hedged to a second replica.", s.HedgesFired)
 	counter("nvmcluster_hedges_won_total", "Hedged dispatches where the hedge answered first.", s.HedgesWon)
 	counter("nvmcluster_reroutes_total", "Dispatches rerouted after a candidate failed.", s.Reroutes)
+	counter("nvmcluster_budget_exhausted_total", "Dispatch launches refused by the attempt budget.", s.BudgetExhausted)
 	counter("nvmcluster_peer_fill_hits_total", "Local jobs satisfied by a peer cache fetch.", s.PeerFillHits)
 	counter("nvmcluster_peer_fill_misses_total", "Peer cache fetches that found nothing.", s.PeerFillMisses)
 	counter("nvmcluster_peer_fill_errors_total", "Peer cache fetches that failed.", s.PeerFillErrors)
@@ -34,8 +35,14 @@ func (n *Node) writeProm(w io.Writer) error {
 	counter("nvmcluster_ckpt_repl_errors_total", "Snapshot replication attempts that failed.", s.CkptReplErrors)
 	counter("nvmcluster_ckpt_received_total", "Replicated job snapshots accepted from peers.", s.CkptReceived)
 	counter("nvmcluster_ckpt_recovered_total", "Jobs resumed from a snapshot fetched off a peer.", s.CkptRecovered)
+	counter("nvmcluster_ckpt_repaired_total", "Snapshots re-replicated by the anti-entropy loop.", s.CkptRepaired)
+	counter("nvmcluster_corrupt_responses_total", "Peer responses that failed an integrity check.", s.CorruptResponses)
+	counter("nvmcluster_quarantines_total", "Peers quarantined for returning corrupt bytes.", s.Quarantines)
+	counter("nvmcluster_probes_total", "Background health probes sent to peers.", s.Probes)
+	counter("nvmcluster_probe_failures_total", "Background health probes that failed.", s.ProbeFailures)
 
 	fmt.Fprintf(&b, "# HELP nvmcluster_peers_unhealthy Peers whose health breaker is currently open.\n# TYPE nvmcluster_peers_unhealthy gauge\nnvmcluster_peers_unhealthy %d\n", s.PeersUnhealthy)
+	fmt.Fprintf(&b, "# HELP nvmcluster_peers_quarantined Peers exiled for returning corrupt bytes.\n# TYPE nvmcluster_peers_quarantined gauge\nnvmcluster_peers_quarantined %d\n", s.PeersQuarantined)
 	fmt.Fprintf(&b, "# HELP nvmcluster_hedge_budget_seconds Current straggler budget before a dispatch is hedged.\n# TYPE nvmcluster_hedge_budget_seconds gauge\nnvmcluster_hedge_budget_seconds %g\n", s.HedgeBudgetMs/1e3)
 
 	fmt.Fprintf(&b, "# HELP nvmcluster_peer_breaker_state Peer health breaker state (one-hot per peer and state).\n# TYPE nvmcluster_peer_breaker_state gauge\n")
@@ -47,6 +54,14 @@ func (n *Node) writeProm(w io.Writer) error {
 			}
 			fmt.Fprintf(&b, "nvmcluster_peer_breaker_state{peer=%q,state=%q} %d\n", p.ID, state, v)
 		}
+	}
+
+	fmt.Fprintf(&b, "# HELP nvmcluster_peer_probe_seconds Round-trip time of the last health probe per peer.\n# TYPE nvmcluster_peer_probe_seconds gauge\n")
+	for _, p := range s.Peers {
+		if p.ProbeStatus == 0 && p.ProbeMs == 0 {
+			continue // never probed
+		}
+		fmt.Fprintf(&b, "nvmcluster_peer_probe_seconds{peer=%q} %g\n", p.ID, p.ProbeMs/1e3)
 	}
 
 	_, err := io.WriteString(w, b.String())

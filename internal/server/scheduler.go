@@ -800,6 +800,21 @@ func (s *Server) CheckpointBytes(hash string) ([]byte, bool) {
 	return s.state.LoadCkpt(hash)
 }
 
+// HasCheckpoint reports whether a durable snapshot exists for a job hash
+// without reading it (peer HEAD probes, anti-entropy dedup).
+func (s *Server) HasCheckpoint(hash string) bool {
+	if !validSnapshotName(hash) {
+		return false
+	}
+	return s.state.HasCkpt(hash)
+}
+
+// CheckpointHashes lists every job hash with a durable snapshot — the
+// anti-entropy scan input.
+func (s *Server) CheckpointHashes() []string {
+	return s.state.CkptHashes()
+}
+
 // PutCheckpoint stores an externally produced snapshot (a peer replica or a
 // client-side restore-on-submit) so the next submission of that hash resumes
 // from it. The envelope is validated before anything touches disk; storing

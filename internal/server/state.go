@@ -85,6 +85,28 @@ func (st *stateStore) HasCkpt(hash string) bool {
 	return err == nil
 }
 
+// CkptHashes lists every job hash with a stored snapshot, in directory order
+// — the scan input for cluster anti-entropy repair.
+func (st *stateStore) CkptHashes() []string {
+	if !st.enabled() {
+		return nil
+	}
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil
+	}
+	var hashes []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if h, ok := strings.CutSuffix(e.Name(), ".ckpt"); ok {
+			hashes = append(hashes, h)
+		}
+	}
+	return hashes
+}
+
 // persistedResult pairs a hash with its canonical result JSON.
 type persistedResult struct {
 	Hash   string          `json:"hash"`
