@@ -4,14 +4,26 @@ GO ?= go
 # microbenchmarks, and the observability hot-path (hooks-disabled overhead).
 BENCH_PKGS = ./ ./internal/sim/ ./internal/obs/
 
-.PHONY: ci build vet test race fmt-check fmt fuzz-smoke fuzz bench bench-smoke trace-smoke ckpt-smoke cluster-smoke cluster-demo chaos-smoke
+.PHONY: ci build vet test race fmt-check fmt fuzz-smoke fuzz bench bench-smoke trace-smoke ckpt-smoke cluster-smoke cluster-demo chaos-smoke par-smoke
 
 # ci is the gate: vet, build, the full suite under the race detector
 # (including the nvmserved integration tests and the randomized ADR
 # crash-consistency property test), a short fuzz smoke per target, a
 # single-iteration bench smoke, a trace-export smoke, a checkpoint/restore
-# smoke, a 3-node cluster smoke, a seeded chaos soak, and a gofmt check.
-ci: vet build race fuzz-smoke bench-smoke trace-smoke ckpt-smoke cluster-smoke chaos-smoke fmt-check
+# smoke, a parallel-engine byte-identity smoke, a 3-node cluster smoke, a
+# seeded chaos soak, and a gofmt check.
+ci: vet build race fuzz-smoke bench-smoke trace-smoke ckpt-smoke par-smoke cluster-smoke chaos-smoke fmt-check
+
+# par-smoke runs the full figure subset on both engines under the race
+# detector and byte-diffs the outputs: TestParallelByteIdentical renders
+# every canonical figure shape serially and with sharded cycle rounds
+# (-par 2 and 4) and compares canonical result bytes plus job hashes; the
+# sim-level property tests replay randomized cross-shard programs and
+# checkpoint cuts the same way. Both raise GOMAXPROCS internally so the
+# shard workers really run concurrently even on small CI hosts.
+par-smoke:
+	$(GO) test -race -count=1 ./internal/server/ -run 'TestParallelByteIdentical|TestSimParallelExcludedFromHash'
+	$(GO) test -race -count=1 ./internal/sim/ -run 'TestSharded'
 
 # chaos-smoke runs the seeded in-process chaos soak: a 3-node fleet under
 # drops, delays, duplication, slow-drip, a corruption-injecting peer, and a
@@ -69,9 +81,16 @@ trace-smoke:
 
 # bench refreshes BENCH_quick.json, the checked-in performance snapshot:
 # every benchmark three times with allocation stats, averaged per name.
+# The snapshot is staged and checked before replacing the committed one, so
+# a run that produced no measurements (filtered out, build skew, crash mid
+# -pipe) fails the target instead of silently emptying the baseline.
 bench:
+	@tmp=$$(mktemp) && trap 'rm -f "$$tmp"' EXIT && \
 	$(GO) test -run '^$$' -bench . -benchmem -count 3 $(BENCH_PKGS) \
-		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_quick.json
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson > $$tmp && \
+	if ! grep -q ns_op $$tmp; then \
+		echo "bench: no benchmark results captured; BENCH_quick.json left untouched"; exit 1; fi && \
+	mv $$tmp BENCH_quick.json
 
 # bench-smoke runs each benchmark once — catches benchmarks that broke
 # without paying for a measurement-grade run.

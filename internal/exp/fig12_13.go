@@ -7,6 +7,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/mem"
 	"repro/internal/nvdimm"
+	"repro/internal/pool"
 	"repro/internal/trace"
 	"repro/internal/vans"
 	"repro/internal/workload"
@@ -157,14 +158,26 @@ func fig13d(sc Scale) *Result {
 	sLazy := &analysis.Series{Name: "LazyCache", XLabel: "workload#", YLabel: "speedup"}
 	sPre := &analysis.Series{Name: "Pre-Translation", XLabel: "workload#", YLabel: "speedup"}
 	sBoth := &analysis.Series{Name: "Both", XLabel: "workload#", YLabel: "speedup"}
-	for i, name := range workload.CloudNames() {
+	// The per-workload variant quartets are independent full simulations, so
+	// they fan out across the pool budget; speedups land in their own slot
+	// and are assembled in workload order, byte-identical to a sequential
+	// sweep.
+	names := workload.CloudNames()
+	speedups := make([][3]float64, len(names))
+	pool.ForEach(len(names), func(i int) {
+		name := names[i]
 		base := optVariant(sc, name, false, false, 21)
 		lz := optVariant(sc, name, true, false, 21)
 		pt := optVariant(sc, name, false, true, 21)
 		both := optVariant(sc, name, true, true, 21)
-		spLZ := float64(base.Cycles) / float64(lz.Cycles)
-		spPT := float64(base.Cycles) / float64(pt.Cycles)
-		spBoth := float64(base.Cycles) / float64(both.Cycles)
+		speedups[i] = [3]float64{
+			float64(base.Cycles) / float64(lz.Cycles),
+			float64(base.Cycles) / float64(pt.Cycles),
+			float64(base.Cycles) / float64(both.Cycles),
+		}
+	})
+	for i, name := range names {
+		spLZ, spPT, spBoth := speedups[i][0], speedups[i][1], speedups[i][2]
 		t.AddRow(name, fmt.Sprintf("%.3f", spLZ), fmt.Sprintf("%.3f", spPT),
 			fmt.Sprintf("%.3f", spBoth))
 		sLazy.Add(float64(i), spLZ)

@@ -7,6 +7,7 @@ import (
 	"repro/internal/lens"
 	"repro/internal/mem"
 	"repro/internal/nvdimm"
+	"repro/internal/pool"
 	"repro/internal/vans"
 )
 
@@ -63,10 +64,17 @@ func otherNVRAM(sc Scale) *Result {
 		{"fast-SCM", scaledNV(sc, FastSCMConfig())},
 		{"dense-archive", scaledNV(sc, DenseArchiveConfig())},
 	}
-	for _, dev := range devices {
+	// Each device's probe run is independent (own systems, fixed seeds), so
+	// they fan out across the pool budget; rows land in their own slot and
+	// are assembled in device order, keeping the table byte-identical to a
+	// sequential run.
+	rows := make([][]string, len(devices))
+	pool.ForEach(len(devices), func(i int) {
+		dev := devices[i]
 		vcfg := vans.DefaultConfig()
 		vcfg.NV = dev.cfg
 		vcfg.Obs = sc.Obs
+		vcfg.Parallel = sc.Par
 		mk := func() mem.System { return vans.New(vcfg) }
 		rep := lens.BufferProber(mk, lens.BufferProberConfig{
 			Regions:      sc.Regions,
@@ -82,9 +90,12 @@ func otherNVRAM(sc Scale) *Result {
 			return "-"
 		}
 		mediaNs := lens.PtrChase(mk, dev.cfg.AITBytes()*4, 64, mem.OpRead, sc.Opt)
-		t.AddRow(dev.name,
+		rows[i] = []string{dev.name,
 			get(rep.ReadBufferBytes, 0), get(rep.ReadBufferBytes, 1),
-			get(rep.ReadGranularity, 0), fmt.Sprintf("%.0f", mediaNs))
+			get(rep.ReadGranularity, 0), fmt.Sprintf("%.0f", mediaNs)}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	r.Tables = append(r.Tables, t)
 	r.AddNote("the same probers, run blind, recover each device's distinct buffer sizes and granularities — the Section IV-E adaptation loop")

@@ -121,12 +121,19 @@ type IMC struct {
 	stats    Stats
 }
 
-// New builds an iMC over the given DIMMs (one channel each).
+// New builds an iMC over the given DIMMs (one channel each). Channel i runs
+// on engine shard i+1 and DIMM i must have been constructed on that same
+// shard handle (eng.Shard(i+1)), as vans does — so each channel's
+// queue mechanics (WPQ drain, bus turns, DIMM traffic) may execute
+// concurrently with other channels' inside one cycle round, while everything
+// that touches driver or cross-channel state funnels back through home
+// events. The iMC front doors (Read/Write/Fence/Busy) are called from home
+// context only.
 func New(eng *sim.Engine, cfg Config, dimms []*nvdimm.DIMM) *IMC {
 	cfg = cfg.withDefaults()
 	m := &IMC{eng: eng, cfg: cfg}
 	for i, d := range dimms {
-		m.channels = append(m.channels, newChannel(eng, cfg, d, i))
+		m.channels = append(m.channels, newChannel(eng.Shard(i+1), cfg, d, i))
 	}
 	return m
 }
@@ -248,7 +255,7 @@ type wpq = nvdimm.LSQ
 
 // Channel couples one WPQ/RPQ pair, a bus, and a DIMM.
 type Channel struct {
-	eng  *sim.Engine
+	eng  *sim.Engine // this channel's shard handle (shard index + 1)
 	cfg  Config
 	dimm *nvdimm.DIMM
 	bus  bus
@@ -323,7 +330,10 @@ func (ch *Channel) read(addr uint64, done func(error)) bool {
 				Comp: ch.comp, Addr: addr})
 		}
 		ch.rpqInFlight++
-		ch.eng.After(ch.readOverCyc/2, func() {
+		// Completion invokes the driver callback, so it runs as a home event;
+		// rpqInFlight is thereby home-owned (bumped here in driver context,
+		// decremented in home completions) and never touched by shard events.
+		ch.eng.AfterHome(ch.readOverCyc/2, func() {
 			ch.rpqInFlight--
 			ch.noteRPQDone(addr)
 			done(nil)
@@ -335,9 +345,11 @@ func (ch *Channel) read(addr uint64, done func(error)) bool {
 	ch.eng.Schedule(start+ch.transferCyc+ch.readOverCyc/2, func() {
 		ch.dimm.Read(addr, func(err error) {
 			// Poison rides the same return transfer as data would: DDR-T
-			// signals the error in-band, so timing is unchanged.
+			// signals the error in-band, so timing is unchanged. The bus
+			// reservation happens here on the channel's shard; only the final
+			// hand-back to the driver crosses to a home event.
 			ret := ch.bus.acquire(ch.eng.Now(), false)
-			ch.eng.Schedule(ret+ch.transferCyc+ch.readOverCyc/2, func() {
+			ch.eng.ScheduleHome(ret+ch.transferCyc+ch.readOverCyc/2, func() {
 				ch.rpqInFlight--
 				ch.noteRPQDone(addr)
 				done(err)
@@ -369,7 +381,7 @@ func (ch *Channel) write(addr uint64, data []byte, done func()) bool {
 	}
 	ch.pendingData(addr, data)
 	ch.kickDrain()
-	ch.eng.After(ch.writeAccCyc, done)
+	ch.eng.AfterHome(ch.writeAccCyc, done)
 	return true
 }
 
@@ -433,7 +445,10 @@ func (ch *Channel) drainPush() {
 	ch.eng.AfterFn(ch.drainCyc, chanDrainStep, ch)
 }
 
-// fence drains the WPQ then flushes the DIMM.
+// fence drains the WPQ then flushes the DIMM. done decrements a counter
+// shared across channels (IMC.Fence), so the DIMM's flush notification —
+// which fires inside a shard event — is funneled to a home event at the same
+// cycle before done runs.
 func (ch *Channel) fence(done func()) {
 	var wait func()
 	wait = func() {
@@ -442,7 +457,7 @@ func (ch *Channel) fence(done func()) {
 			ch.eng.After(ch.drainCyc, wait)
 			return
 		}
-		ch.dimm.Flush(done)
+		ch.dimm.Flush(func() { ch.eng.DeferHome(done) })
 	}
 	ch.eng.After(1, wait)
 }

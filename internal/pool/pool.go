@@ -34,10 +34,54 @@ func SetWorkers(n int) int {
 	return prev
 }
 
-// ForEach runs fn(i) for every i in [0, n) across at most Workers()
-// goroutines and waits for all to finish. Iterations must not share mutable
-// state; callers keep determinism by writing results only to slot i. With a
-// single worker it degenerates to a plain loop on the calling goroutine.
+// leased counts extra-worker tokens currently held by parallel stages: sweep
+// fan-out (ForEach) and the engine's intra-simulation rounds (sim.Shard +
+// SetParallel). The budget caps process-wide fan-out at GOMAXPROCS: every
+// stage's calling goroutine participates for free and leases only its extra
+// workers, so nesting — a parallel sweep of simulations that are themselves
+// internally parallel — degrades gracefully to inline execution instead of
+// oversubscribing the machine.
+var leased atomic.Int64
+
+// TryLease grabs up to n extra-worker tokens from the global budget and
+// returns how many it got, possibly 0. It never blocks — callers must run
+// inline with whatever they get (results may not depend on the answer).
+// Pair every successful lease with Release.
+func TryLease(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	budget := int64(runtime.GOMAXPROCS(0) - 1)
+	for {
+		cur := leased.Load()
+		avail := budget - cur
+		if avail <= 0 {
+			return 0
+		}
+		take := int64(n)
+		if take > avail {
+			take = avail
+		}
+		if leased.CompareAndSwap(cur, cur+take) {
+			return int(take)
+		}
+	}
+}
+
+// Release returns tokens obtained from TryLease.
+func Release(n int) {
+	if n > 0 {
+		leased.Add(int64(-n))
+	}
+}
+
+// ForEach runs fn(i) for every i in [0, n) and waits for all to finish. The
+// calling goroutine always participates; up to Workers()-1 extra goroutines
+// are leased from the shared budget (TryLease), so nested ForEach calls and
+// intra-simulation rounds share one GOMAXPROCS-wide cap. Iterations must not
+// share mutable state; callers keep determinism by writing results only to
+// slot i. With a single worker — configured or budget-exhausted — it
+// degenerates to a plain loop on the calling goroutine.
 func ForEach(n int, fn func(i int)) {
 	if n <= 0 {
 		return
@@ -46,12 +90,17 @@ func ForEach(n int, fn func(i int)) {
 	if w > n {
 		w = n
 	}
-	if w <= 1 {
+	extra := 0
+	if w > 1 {
+		extra = TryLease(w - 1)
+	}
+	if extra == 0 {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
 		return
 	}
+	defer Release(extra)
 
 	var (
 		next  atomic.Int64
@@ -59,31 +108,35 @@ func ForEach(n int, fn func(i int)) {
 		panMu sync.Mutex
 		pan   any
 	)
-	wg.Add(w)
-	for g := 0; g < w; g++ {
-		go func() {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					panMu.Lock()
-					if pan == nil {
-						pan = r
-					}
-					panMu.Unlock()
+	work := func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panMu.Lock()
+				if pan == nil {
+					pan = r
 				}
-			}()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
+				panMu.Unlock()
 			}
 		}()
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
 	}
+	wg.Add(extra)
+	for g := 0; g < extra; g++ {
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work()
 	wg.Wait()
 	if pan != nil {
-		// Surface the first worker panic on the calling goroutine so test
+		// Surface the first panic on the calling goroutine so test
 		// harnesses and defers see it (the original stack is lost).
 		panic(pan)
 	}

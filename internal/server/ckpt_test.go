@@ -147,9 +147,13 @@ var figureSpecs = map[string]figureSpec{
 // TestRestoreIdentityFigures: for a representative job of every figure
 // experiment, checkpoint mid-run, restore in a fresh runner, and require the
 // canonical result (timings, counters, obs dump) byte-identical to the
-// uninterrupted run. The completeness check pins the map to the experiment
-// registry so new figures cannot dodge the restore-identity property.
+// uninterrupted run. The straight run executes on the parallel engine and the
+// resumed run on the serial one, so the identity also pins that snapshots
+// cross engine modes freely. The completeness check pins the map to the
+// experiment registry so new figures cannot dodge the restore-identity
+// property.
 func TestRestoreIdentityFigures(t *testing.T) {
+	forcePar(t, 8)
 	for _, id := range exp.IDs() {
 		fs, ok := figureSpecs[id]
 		if !ok {
@@ -188,14 +192,17 @@ func TestRestoreIdentityFigures(t *testing.T) {
 				}
 				return nil
 			}}
-			straight, err := NewRunner().RunAttemptCkpt(context.Background(), p, 0, io1)
+			rn1 := NewRunner()
+			rn1.SimParallel = 4
+			straight, err := rn1.RunAttemptCkpt(context.Background(), p, 0, io1)
 			if err != nil {
 				t.Fatalf("straight run: %v", err)
 			}
 			if snap == nil || io1.Saves == 0 {
 				t.Fatalf("no barrier fired (saves=%d); shrink CkptEvery for shape %q", io1.Saves, key)
 			}
-			// Fresh runner, restore, run to completion.
+			// Fresh serial runner, restore the parallel run's snapshot, run to
+			// completion.
 			io2 := &CkptIO{Resume: snap}
 			resumed, err := NewRunner().RunAttemptCkpt(context.Background(), p, 0, io2)
 			if err != nil {

@@ -1,0 +1,123 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// forcePar raises GOMAXPROCS for the duration of the test so the engine's
+// pool budget (GOMAXPROCS-1 extra workers) hands out tokens even on a
+// single-CPU host; without it every parallel round would silently degrade to
+// inline execution and these tests would not exercise the concurrent path.
+func forcePar(t *testing.T, n int) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
+
+// runAtPar executes the compiled plan with the given intra-simulation
+// parallelism and returns the canonical result bytes.
+func runAtPar(t *testing.T, p *Plan, par int) (*Result, []byte) {
+	t.Helper()
+	rn := NewRunner()
+	rn.SimParallel = par
+	res, err := rn.Run(context.Background(), p)
+	if err != nil {
+		t.Fatalf("par %d: %v", par, err)
+	}
+	return res, res.Canonical()
+}
+
+// TestParallelByteIdentical is the engine-parallelism oracle at the service
+// layer: every representative figure/table job shape must produce
+// byte-identical canonical results (timings, counters, obs dump) on the
+// serial engine and on the parallel engine at several -par levels. `make
+// par-smoke` runs exactly this harness under -race.
+func TestParallelByteIdentical(t *testing.T) {
+	forcePar(t, 8)
+	for key, spec := range figureShapes {
+		spec := spec
+		t.Run(key, func(t *testing.T) {
+			p, err := spec.Compile()
+			if err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			ref, refBytes := runAtPar(t, p, 1)
+			for _, par := range []int{2, 4} {
+				res, got := runAtPar(t, p, par)
+				if !bytes.Equal(refBytes, got) {
+					t.Fatalf("par %d result differs from serial\nserial:   %s\nparallel: %s",
+						par, refBytes, got)
+				}
+				if res.Hash != ref.Hash {
+					t.Fatalf("par %d hash %s != serial hash %s", par, res.Hash, ref.Hash)
+				}
+			}
+		})
+	}
+}
+
+// TestSimParallelExcludedFromHash pins the contract that parallelism is an
+// execution strategy, not a job parameter: the canonical plan hash and the
+// result bytes are identical at every SimParallel setting, for plain runs,
+// fault-injected runs, and the 6-DIMM interleaved shape, so the result cache
+// may freely mix results computed at different parallelism levels.
+func TestSimParallelExcludedFromHash(t *testing.T) {
+	forcePar(t, 8)
+	specs := map[string]JobSpec{
+		"interleaved": {
+			Config:   ConfigSpec{DIMMs: 6, Interleaved: true, MediaBytes: "8M"},
+			Workload: WorkloadSpec{Kind: "seq", Bytes: "96K", Op: "store-nt"},
+			Window:   8, Seed: 7,
+		},
+		// A power-fail job: the crash-consistency checker replays to a cut
+		// cycle on the same sharded engine, so its report must be par-stable
+		// too (this also covers the runPowerFail parallelism plumbing).
+		"power-fail": {
+			Config:   ConfigSpec{MediaBytes: "16M"},
+			Workload: WorkloadSpec{Kind: "seq", Bytes: "64K", Op: "store"},
+			Window:   4, Seed: 7,
+			Fault: &fault.Spec{PowerFailCycle: 40000},
+		},
+		// A transient-fault retry: attempt 1 must succeed identically at any
+		// parallelism.
+		"transient-poison": {
+			Config:   ConfigSpec{MediaBytes: "16M"},
+			Workload: WorkloadSpec{Kind: "chase", Region: "64K", MaxSteps: 900},
+			Seed:     7,
+			Fault:    &fault.Spec{PoisonRate: 1, PoisonTransient: true},
+		},
+	}
+	for name, spec := range specs {
+		spec := spec
+		t.Run(name, func(t *testing.T) {
+			p, err := spec.Compile()
+			if err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			hash := p.Hash()
+			var ref []byte
+			for _, par := range []int{1, 4} {
+				rn := NewRunner()
+				rn.SimParallel = par
+				res, err := rn.RunAttempt(context.Background(), p, 1)
+				if err != nil {
+					t.Fatalf("par %d: %v", par, err)
+				}
+				if res.Hash != hash {
+					t.Fatalf("par %d: result hash %s != plan hash %s", par, res.Hash, hash)
+				}
+				if ref == nil {
+					ref = res.Canonical()
+				} else if !bytes.Equal(ref, res.Canonical()) {
+					t.Fatalf("par %d result differs:\nserial:   %s\nparallel: %s",
+						par, ref, res.Canonical())
+				}
+			}
+		})
+	}
+}

@@ -8,9 +8,12 @@ import (
 )
 
 // SaveState serializes the engine: the clock (now, seq), the execution
-// counters (fired, peak pending), and every pending event as (at, seq, rid).
-// Field order: now, seq, fired, peak, event count, then events sorted by
-// (at, seq).
+// counters (fired, peak pending), and every pending event as
+// (at, seq, rid, shard). Field order: now, seq, fired, peak, event count,
+// then events sorted by (at, seq). The shard tag is part of the record so a
+// restored run keeps the exact round structure — and therefore the exact
+// byte output — of an uninterrupted one, on either the serial or the
+// parallel execution path.
 //
 // Only events scheduled through ScheduleRecurring can be saved — a pending
 // plain closure has no identity outside this process, so its presence is an
@@ -29,12 +32,13 @@ func (e *Engine) SaveState(enc *ckpt.Enc) error {
 	sort.Slice(evs, func(i, j int) bool { return evs[i].before(&evs[j]) })
 	enc.U32(uint32(len(evs)))
 	for i := range evs {
-		if evs[i].rid == 0 {
+		if evs[i].ridOf() == 0 {
 			return fmt.Errorf("sim: pending closure event at cycle %d cannot be checkpointed (schedule it via ScheduleRecurring)", evs[i].at)
 		}
 		enc.U64(uint64(evs[i].at))
 		enc.U64(evs[i].seq)
-		enc.U64(evs[i].rid)
+		enc.U64(evs[i].ridOf())
+		enc.U32(uint32(evs[i].shardOf()))
 	}
 	return nil
 }
@@ -48,7 +52,7 @@ func (e *Engine) LoadState(dec *ckpt.Dec) error {
 	seq := dec.U64()
 	fired := dec.U64()
 	peak := int(dec.U64())
-	n := dec.Count(24)
+	n := dec.Count(28)
 	if err := dec.Err(); err != nil {
 		return err
 	}
@@ -64,6 +68,7 @@ func (e *Engine) LoadState(dec *ckpt.Dec) error {
 		at := Cycle(dec.U64())
 		evSeq := dec.U64()
 		rid := dec.U64()
+		shard := int32(dec.U32())
 		if err := dec.Err(); err != nil {
 			return err
 		}
@@ -79,7 +84,7 @@ func (e *Engine) LoadState(dec *ckpt.Dec) error {
 		// (at, seq) across heap and FIFO, so the original firing order is
 		// reproduced even for events that lived in the same-cycle FIFO when
 		// captured.
-		e.heapPush(event{at: at, seq: evSeq, rid: rid, fn: fn})
+		e.heapPush(event{at: at, seq: evSeq, tag: mkTag(rid, shard), fn: fn})
 	}
 	e.notePeak()
 	return nil

@@ -37,6 +37,45 @@ func BenchmarkEngineDeepHeap(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineRunUntil tracks the deadline-bounded drain path: RunUntil
+// used to re-derive the next event time through the exported NextAt peek on
+// every iteration; the fused popUpTo makes one ordering decision per event,
+// keeping this within noise of BenchmarkEngineScheduleRun.
+func BenchmarkEngineRunUntil(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(e.Now()+Cycle(i%17), fn)
+		if i%64 == 63 {
+			e.RunUntil(e.Now() + 17)
+		}
+	}
+	e.Run()
+}
+
+// TestRunUntilAllocFree pins the RunUntil fast path to zero allocations once
+// capacities are warm, matching the Run guard below.
+func TestRunUntilAllocFree(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < 2048; i++ {
+		e.Schedule(e.Now()+Cycle(i%31), fn)
+	}
+	e.Run()
+	avg := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 256; i++ {
+			e.After(Cycle(i%13), fn)
+		}
+		e.RunUntil(e.Now() + 13)
+		e.Run()
+	})
+	if avg != 0 {
+		t.Fatalf("Schedule/RunUntil allocated %.2f times per run, want 0", avg)
+	}
+}
+
 // TestScheduleAllocFree is the allocation regression guard for the engine
 // hot path: once slice capacity is warm, Schedule/After/Run must not
 // allocate at all (the boxed heap allocated on every push and pop).
