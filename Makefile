@@ -4,15 +4,25 @@ GO ?= go
 # microbenchmarks, and the observability hot-path (hooks-disabled overhead).
 BENCH_PKGS = ./ ./internal/sim/ ./internal/obs/
 
-.PHONY: ci build vet test race fmt-check fmt fuzz-smoke fuzz bench bench-smoke trace-smoke ckpt-smoke cluster-smoke cluster-demo chaos-smoke par-smoke
+.PHONY: ci build vet test race fmt-check fmt fuzz-smoke fuzz bench bench-smoke bench-diff trace-smoke ckpt-smoke cluster-smoke cluster-demo chaos-smoke par-smoke dash-smoke
 
 # ci is the gate: vet, build, the full suite under the race detector
 # (including the nvmserved integration tests and the randomized ADR
 # crash-consistency property test), a short fuzz smoke per target, a
 # single-iteration bench smoke, a trace-export smoke, a checkpoint/restore
 # smoke, a parallel-engine byte-identity smoke, a 3-node cluster smoke, a
-# seeded chaos soak, and a gofmt check.
-ci: vet build race fuzz-smoke bench-smoke trace-smoke ckpt-smoke par-smoke cluster-smoke chaos-smoke fmt-check
+# seeded chaos soak, a fleet-dashboard smoke, and a gofmt check.
+ci: vet build race fuzz-smoke bench-smoke trace-smoke ckpt-smoke par-smoke cluster-smoke chaos-smoke dash-smoke fmt-check
+
+# dash-smoke boots a 2-node in-process loopback fleet, runs one job, fetches
+# GET /v1/dashboard/data from every member, and validates the payload twice:
+# nvmload checks liveness, fleet-wide stage aggregates, and verdict-tally
+# stability across members and refetches; tracecheck re-validates the written
+# JSON independently (bucket arithmetic, membership, regime tallies).
+dash-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) run ./cmd/nvmload -dash -dash-out $$tmp/dash.json && \
+	$(GO) run ./cmd/tracecheck -dash $$tmp/dash.json
 
 # par-smoke runs the full figure subset on both engines under the race
 # detector and byte-diffs the outputs: TestParallelByteIdentical renders
@@ -96,6 +106,17 @@ bench:
 # without paying for a measurement-grade run.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x $(BENCH_PKGS)
+
+# bench-diff measures the current tree (same protocol as `make bench`) and
+# compares it against the checked-in BENCH_quick.json baseline, failing on any
+# benchmark whose ns/op or allocs/op regressed beyond the tolerance.
+# Override with e.g. `make bench-diff BENCH_TOLERANCE=25` on noisy hosts.
+BENCH_TOLERANCE ?= 15
+bench-diff:
+	@tmp=$$(mktemp) && trap 'rm -f "$$tmp"' EXIT && \
+	$(GO) test -run '^$$' -bench . -benchmem -count 3 $(BENCH_PKGS) \
+		| $(GO) run ./cmd/benchjson > $$tmp && \
+	$(GO) run ./cmd/benchjson -diff -tolerance $(BENCH_TOLERANCE) BENCH_quick.json $$tmp
 
 # fuzz-smoke runs each fuzz target briefly off the checked-in seed corpus —
 # enough to catch parser/validator regressions without stalling the gate.

@@ -2,11 +2,22 @@
 // object mapping benchmark name to its metrics (ns/op, B/op, allocs/op),
 // averaging repeated runs (-count N). make bench uses it to produce
 // BENCH_quick.json, the checked-in performance snapshot.
+//
+// With -diff it instead compares two snapshots:
+//
+//	benchjson -diff [-tolerance 15] old.json new.json
+//
+// printing the per-benchmark ns/op and allocs/op deltas and exiting non-zero
+// when any benchmark regressed by more than -tolerance percent — the guard
+// make bench-diff puts between a change and the checked-in baseline.
+// Benchmarks present on only one side are reported but never fail the diff
+// (added or removed benchmarks are a review question, not a regression).
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"sort"
@@ -23,6 +34,19 @@ type Metrics struct {
 }
 
 func main() {
+	var (
+		diff      = flag.Bool("diff", false, "compare two snapshot files (old.json new.json) instead of reading bench output")
+		tolerance = flag.Float64("tolerance", 15, "with -diff: maximum allowed regression, in percent, before a nonzero exit")
+	)
+	flag.Parse()
+	if *diff {
+		os.Exit(runDiff(flag.Args(), *tolerance))
+	}
+	convert()
+}
+
+// convert is the original mode: bench text on stdin, JSON snapshot on stdout.
+func convert() {
 	sums := map[string]*Metrics{}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -91,4 +115,87 @@ func main() {
 		fmt.Fprintf(out, "  %q: %s%s\n", n, b, comma)
 	}
 	fmt.Fprintln(out, "}")
+}
+
+// loadSnapshot reads one benchjson snapshot file.
+func loadSnapshot(path string) (map[string]Metrics, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]Metrics
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return m, nil
+}
+
+// pctDelta is the percent change new vs old; old==0 reports 0 (a benchmark
+// that legitimately costs nothing cannot regress in relative terms).
+func pctDelta(oldV, newV float64) float64 {
+	if oldV == 0 {
+		return 0
+	}
+	return (newV - oldV) / oldV * 100
+}
+
+// runDiff compares two snapshots and returns the process exit code.
+func runDiff(args []string, tolerance float64) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two files: old.json new.json")
+		return 2
+	}
+	oldS, err := loadSnapshot(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	newS, err := loadSnapshot(args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+
+	names := make([]string, 0, len(oldS)+len(newS))
+	seen := map[string]bool{}
+	for n := range oldS {
+		names = append(names, n)
+		seen[n] = true
+	}
+	for n := range newS {
+		if !seen[n] {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	regressed := 0
+	fmt.Printf("%-52s %14s %14s %9s %9s\n", "benchmark", "old ns/op", "new ns/op", "Δns/op", "Δallocs")
+	for _, n := range names {
+		o, haveOld := oldS[n]
+		nw, haveNew := newS[n]
+		switch {
+		case !haveOld:
+			fmt.Printf("%-52s %14s %14.1f %9s %9s  (new benchmark)\n", n, "-", nw.NsPerOp, "-", "-")
+			continue
+		case !haveNew:
+			fmt.Printf("%-52s %14.1f %14s %9s %9s  (removed)\n", n, o.NsPerOp, "-", "-", "-")
+			continue
+		}
+		dNs := pctDelta(o.NsPerOp, nw.NsPerOp)
+		dAl := pctDelta(o.AllocsPerOp, nw.AllocsPerOp)
+		mark := ""
+		if dNs > tolerance || dAl > tolerance {
+			mark = "  REGRESSED"
+			regressed++
+		}
+		fmt.Printf("%-52s %14.1f %14.1f %8.1f%% %8.1f%%%s\n",
+			n, o.NsPerOp, nw.NsPerOp, dNs, dAl, mark)
+	}
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed beyond %.1f%%\n", regressed, tolerance)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: no regression beyond %.1f%%\n", tolerance)
+	return 0
 }

@@ -76,7 +76,11 @@ func main() {
 			fmt.Print(analysis.Plot(o.Res.Series, opt))
 		}
 		fmt.Printf("(%s scale)\n\n", sc.Name)
-		fmt.Fprintf(os.Stderr, "ok   %s (%v) %s\n", o.ID, o.Elapsed.Round(time.Millisecond), o.Digest)
+		regime := ""
+		if o.Verdict != nil {
+			regime = " regime=" + o.Verdict.Regime
+		}
+		fmt.Fprintf(os.Stderr, "ok   %s (%v) %s%s\n", o.ID, o.Elapsed.Round(time.Millisecond), o.Digest, regime)
 	}
 	fmt.Fprintf(os.Stderr, "%d/%d experiments ok, %d workers, %v total\n",
 		len(outs)-len(failed), len(outs), pool.Workers(), time.Since(start).Round(time.Millisecond))

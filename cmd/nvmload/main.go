@@ -34,6 +34,11 @@
 //     (jobs_resumed > 0, not a from-scratch re-simulation) and the resumed
 //     result is byte-identical to the uninterrupted reference.
 //
+// Dash mode boots a 2-node in-process loopback fleet, runs one job, and
+// validates the fleet dashboard payload on every member (`make dash-smoke`):
+//
+//	nvmload -dash [-dash-out dash.json]
+//
 // Exit status is non-zero if any verification fails, which is what lets
 // `make cluster-smoke` gate CI on the cluster actually working.
 package main
@@ -77,6 +82,8 @@ func main() {
 		keepLogs    = flag.Bool("keep-logs", false, "demo: stream node logs to stderr")
 		chaosMode   = flag.Bool("chaos", false, "run the seeded in-process chaos soak (no -serve-bin needed)")
 		chaosSeed   = flag.Uint64("chaos-seed", 1, "chaos: fault-schedule seed (same seed replays the same faults)")
+		dashMode    = flag.Bool("dash", false, "run the 2-node in-process fleet dashboard smoke")
+		dashOut     = flag.String("dash-out", "", "dash: write the fetched dashboard payload to FILE")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -91,6 +98,15 @@ func main() {
 			log.Fatalf("CHAOS SOAK FAILED: %v", err)
 		}
 		log.Print("chaos soak passed: byte-identity, bounded attempts, quarantine, anti-entropy convergence, replayable schedule, no leaks")
+		return
+	}
+
+	if *dashMode {
+		dr := &dashRun{region: *region, steps: *steps, workers: *workers, out: *dashOut}
+		if err := dr.run(); err != nil {
+			log.Fatalf("DASH SMOKE FAILED: %v", err)
+		}
+		log.Print("dash smoke passed: every member serves fleet-wide stage aggregates and a stable verdict tally")
 		return
 	}
 

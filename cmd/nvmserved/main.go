@@ -203,7 +203,8 @@ func main() {
 
 // parsePeers turns "n1=host:port,n2=host:port" into the cluster membership,
 // defaulting to a single-member cluster of self. Peer addresses become
-// http:// base URLs; the self entry keeps the resolved listen address.
+// http:// base URLs (an explicit http:// prefix is accepted and not doubled);
+// the self entry keeps the resolved listen address.
 func parsePeers(spec, self, selfAddr string) ([]cluster.Peer, error) {
 	if strings.TrimSpace(spec) == "" {
 		return []cluster.Peer{{ID: self, URL: "http://" + selfAddr}}, nil
@@ -222,6 +223,13 @@ func parsePeers(spec, self, selfAddr string) ([]cluster.Peer, error) {
 		if id == self {
 			selfSeen = true
 			addr = selfAddr
+		}
+		// A scheme-bearing address ("http://host:port") was an easy mistake
+		// that used to produce an undialable http://http:// URL — every peer
+		// showed stale and dispatch silently fell back to reroute.
+		addr = strings.TrimPrefix(addr, "http://")
+		if strings.Contains(addr, "://") {
+			return nil, fmt.Errorf("bad -peers entry %q (want id=host:port, http only)", part)
 		}
 		members = append(members, cluster.Peer{ID: id, URL: "http://" + addr})
 	}

@@ -1,0 +1,45 @@
+package main
+
+import "testing"
+
+func TestParsePeers(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name    string
+		spec    string
+		urls    []string // expected URLs in order; nil means expect an error
+		wantErr bool
+	}{
+		{name: "empty means solo", spec: "",
+			urls: []string{"http://127.0.0.1:9001"}},
+		{name: "bare host:port", spec: "n1=127.0.0.1:8081,n2=127.0.0.1:8082",
+			urls: []string{"http://127.0.0.1:9001", "http://127.0.0.1:8082"}},
+		{name: "explicit http not doubled", spec: "n1=http://127.0.0.1:8081,n2=http://127.0.0.1:8082",
+			urls: []string{"http://127.0.0.1:9001", "http://127.0.0.1:8082"}},
+		{name: "other scheme rejected", spec: "n1=127.0.0.1:9001,n2=https://127.0.0.1:8082", wantErr: true},
+		{name: "missing self", spec: "n2=127.0.0.1:8082", wantErr: true},
+		{name: "malformed entry", spec: "n1", wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			members, err := parsePeers(tc.spec, "n1", "127.0.0.1:9001")
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("parsePeers(%q) = %v, want error", tc.spec, members)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parsePeers(%q): %v", tc.spec, err)
+			}
+			if len(members) != len(tc.urls) {
+				t.Fatalf("got %d members, want %d", len(members), len(tc.urls))
+			}
+			for i, want := range tc.urls {
+				if members[i].URL != want {
+					t.Errorf("member %d URL = %q, want %q", i, members[i].URL, want)
+				}
+			}
+		})
+	}
+}

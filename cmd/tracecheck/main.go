@@ -6,12 +6,18 @@
 // Usage:
 //
 //	tracecheck out.json
+//	tracecheck -dash dash.json
 //
-// Exit status 0 if the file is a well-formed trace, 1 otherwise.
+// With -dash it instead validates a fleet dashboard payload (the JSON written
+// by `nvmload -dash-out`): fleet membership, per-stage histogram structure,
+// and verdict tallies — the CI smoke for GET /v1/dashboard/data.
+//
+// Exit status 0 if the file is well-formed, 1 otherwise.
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 )
@@ -40,19 +46,26 @@ func fail(format string, args ...interface{}) {
 }
 
 func main() {
-	if len(os.Args) != 2 {
-		fail("usage: tracecheck FILE.json")
+	dash := flag.Bool("dash", false, "validate a fleet dashboard payload (nvmload -dash-out) instead of a trace")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fail("usage: tracecheck [-dash] FILE.json")
 	}
-	data, err := os.ReadFile(os.Args[1])
+	path := flag.Arg(0)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		fail("%v", err)
 	}
+	if *dash {
+		checkDash(path, data)
+		return
+	}
 	var tf traceFile
 	if err := json.Unmarshal(data, &tf); err != nil {
-		fail("%s: not valid JSON: %v", os.Args[1], err)
+		fail("%s: not valid JSON: %v", path, err)
 	}
 	if len(tf.TraceEvents) == 0 {
-		fail("%s: no traceEvents", os.Args[1])
+		fail("%s: no traceEvents", path)
 	}
 
 	var metas, instants, slices int
@@ -88,9 +101,105 @@ func main() {
 		}
 	}
 	if instants+slices == 0 {
-		fail("%s: only metadata events, no samples", os.Args[1])
+		fail("%s: only metadata events, no samples", path)
 	}
 
 	fmt.Printf("tracecheck: ok: %d events (%d instants, %d slices, %d metas) across %d components\n",
 		len(tf.TraceEvents), instants, slices, metas, len(procs))
+}
+
+// dashPayload mirrors the fields of cluster.DashboardData the smoke asserts
+// on. tracecheck deliberately redeclares the schema instead of importing the
+// cluster package: the check is that the *wire shape* holds, not that two Go
+// programs share a struct.
+type dashPayload struct {
+	Self  string `json:"self"`
+	Fleet []struct {
+		ID      string          `json:"id"`
+		Stale   bool            `json:"stale"`
+		Error   string          `json:"error"`
+		Metrics json.RawMessage `json:"metrics"`
+	} `json:"fleet"`
+	Stages []struct {
+		Name   string   `json:"name"`
+		Count  uint64   `json:"count"`
+		Sum    uint64   `json:"sum"`
+		Bounds []uint64 `json:"bounds"`
+		Counts []uint64 `json:"counts"`
+	} `json:"stages"`
+	Verdicts map[string]uint64 `json:"verdicts"`
+	Cluster  struct {
+		Self string `json:"self"`
+	} `json:"cluster"`
+}
+
+// checkDash validates a fleet dashboard payload written by nvmload -dash-out.
+func checkDash(path string, data []byte) {
+	var d dashPayload
+	if err := json.Unmarshal(data, &d); err != nil {
+		fail("%s: not valid JSON: %v", path, err)
+	}
+	if d.Self == "" {
+		fail("%s: empty self", path)
+	}
+	if d.Cluster.Self != d.Self {
+		fail("%s: cluster info self %q != payload self %q", path, d.Cluster.Self, d.Self)
+	}
+	if len(d.Fleet) == 0 {
+		fail("%s: empty fleet", path)
+	}
+	seen := map[string]bool{}
+	live := 0
+	for i, n := range d.Fleet {
+		if n.ID == "" {
+			fail("%s: fleet[%d]: empty id", path, i)
+		}
+		if seen[n.ID] {
+			fail("%s: duplicate fleet member %q", path, n.ID)
+		}
+		seen[n.ID] = true
+		if n.Stale {
+			continue
+		}
+		live++
+		if len(n.Metrics) == 0 || string(n.Metrics) == "null" {
+			fail("%s: live member %q has no metrics", path, n.ID)
+		}
+	}
+	if live == 0 {
+		fail("%s: no live fleet member", path)
+	}
+	if !seen[d.Self] {
+		fail("%s: self %q not in fleet", path, d.Self)
+	}
+	if len(d.Stages) == 0 {
+		fail("%s: no fleet-wide stage aggregates", path)
+	}
+	for _, h := range d.Stages {
+		if h.Name == "" {
+			fail("%s: stage histogram with empty name", path)
+		}
+		if len(h.Counts) != len(h.Bounds)+1 {
+			fail("%s: stage %s: %d counts for %d bounds", path, h.Name, len(h.Counts), len(h.Bounds))
+		}
+		var total uint64
+		for _, c := range h.Counts {
+			total += c
+		}
+		if total != h.Count {
+			fail("%s: stage %s: bucket counts sum to %d, count says %d", path, h.Name, total, h.Count)
+		}
+	}
+	if len(d.Verdicts) == 0 {
+		fail("%s: no verdicts", path)
+	}
+	var jobs uint64
+	for regime, c := range d.Verdicts {
+		if regime == "" || c == 0 {
+			fail("%s: degenerate verdict entry %q=%d", path, regime, c)
+		}
+		jobs += c
+	}
+	fmt.Printf("tracecheck: ok: dashboard from %s: %d/%d members live, %d stage aggregates, %d verdicts across %d regimes\n",
+		d.Self, live, len(d.Fleet), len(d.Stages), jobs, len(d.Verdicts))
 }

@@ -11,6 +11,7 @@
 //	vans -pattern seq -op store-nt -fault '{"power_fail_cycle":4000}' -json
 //	vans -pattern seq -op store -trace out.json   # Chrome trace for Perfetto
 //	vans -pattern chase -stats                    # full observability table
+//	vans -pattern seq -op store-nt -explain       # bottleneck verdict
 //
 // Checkpoint/restore: -ckpt-every N cuts a sealed snapshot at every Nth
 // access barrier; -checkpoint FILE keeps the latest snapshot on disk, and
@@ -58,6 +59,7 @@ func main() {
 		jsonOut     = flag.Bool("json", false, "print the result as JSON (the nvmserved payload)")
 		faultJSON   = flag.String("fault", "", `fault spec as JSON, e.g. '{"poison_rate":0.01}' or '{"power_fail_cycle":4000}'`)
 		traceOut    = flag.String("trace", "", "write a Chrome trace_event JSON file (open in Perfetto / chrome://tracing)")
+		explain     = flag.Bool("explain", false, "print the bottleneck verdict: dominant stage, time attribution, named regime")
 		stats       = flag.Bool("stats", false, "print the full observability table (every counter and stage histogram)")
 		statsJSON   = flag.Bool("stats-json", false, "print the observability dump as JSON")
 		ckptEvery   = flag.Int("ckpt-every", 0, "checkpoint every N accesses at engine-idle barriers (0 disables)")
@@ -171,6 +173,15 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "vans: wrote %d trace events to %s (open in https://ui.perfetto.dev)\n",
 			len(lt.Events()), *traceOut)
+	}
+
+	if *explain {
+		if res.Verdict == nil {
+			// Power-fail runs carry no dump, hence no attribution to explain.
+			fatalf(1, "vans: run produced no verdict")
+		}
+		fmt.Print(res.Verdict.String())
+		return
 	}
 
 	if (*stats || *statsJSON) && res.Obs == nil {

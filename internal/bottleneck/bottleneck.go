@@ -1,0 +1,238 @@
+// Package bottleneck interprets an observability dump into a per-job
+// verdict: where the simulated time went (queue vs. service, per stage) and
+// a named regime explaining *why* the configuration is slow — the question
+// the paper answers by attributing end-to-end latency to internal mechanisms
+// (WPQ drain, AIT misses, wear migration, RMW combining, media bandwidth).
+//
+// The analyzer consumes only the aggregated obs.Dump of a finished run:
+// every input is simulation-domain (cycle-derived histogram sums and
+// registry counters), every float is rounded to a fixed precision, and the
+// attribution rows keep a fixed datapath order — so the same dump always
+// yields byte-identical verdict JSON, and the same job hash always yields
+// the same dump. Verdicts therefore cache and compare like results do.
+package bottleneck
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Version stamps the verdict layout and classification rules. Bump it when
+// either changes so cached verdicts never mix rule sets.
+const Version = "bottleneck/1"
+
+// Named regimes, in the order the classifier tests them.
+const (
+	RegimeWear     = "wear-migration-bound"
+	RegimeRMW      = "RMW-combine-bound"
+	RegimeWPQ      = "WPQ-bound"
+	RegimeAIT      = "AIT-miss-bound"
+	RegimeMedia    = "media-bandwidth-bound"
+	RegimeBalanced = "balanced"
+)
+
+// StageShare is one row of the time-attribution breakdown: the simulated
+// nanoseconds a Stage×Kind pair accumulated and its share of the attributed
+// total. Kind is "queue" (residency waiting in a pending queue) or "service"
+// (busy time inside the stage).
+type StageShare struct {
+	Stage  string  `json:"stage"`
+	Kind   string  `json:"kind"`
+	Name   string  `json:"name"`
+	TimeNs uint64  `json:"time_ns"`
+	Share  float64 `json:"share"`
+}
+
+// Verdict is the structured bottleneck analysis of one job.
+type Verdict struct {
+	Version       string       `json:"version"`
+	Regime        string       `json:"regime"`
+	DominantStage string       `json:"dominant_stage"`
+	Attribution   []StageShare `json:"attribution"`
+	Evidence      []string     `json:"evidence"`
+}
+
+// Canonical returns the canonical JSON encoding used for byte-identity
+// comparisons (struct fields marshal in declaration order; no maps).
+func (v *Verdict) Canonical() []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic("bottleneck: marshaling verdict: " + err.Error())
+	}
+	return b
+}
+
+// String renders the verdict for terminal output (vans -explain).
+func (v *Verdict) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "regime:          %s\n", v.Regime)
+	fmt.Fprintf(&b, "dominant stage:  %s\n", v.DominantStage)
+	b.WriteString("attribution (simulated time by stage):\n")
+	for _, a := range v.Attribution {
+		fmt.Fprintf(&b, "  %-7s %-7s %-16s %12d ns  %6.2f%%\n",
+			a.Stage, a.Kind, a.Name, a.TimeNs, a.Share*100)
+	}
+	if len(v.Evidence) > 0 {
+		b.WriteString("evidence:\n")
+		for _, e := range v.Evidence {
+			fmt.Fprintf(&b, "  - %s\n", e)
+		}
+	}
+	return b.String()
+}
+
+// bucket maps one dump-histogram suffix onto an attribution row. The slice
+// order is the datapath order, which is also the dominant-stage tie-break.
+type bucket struct {
+	stage, kind, name, suffix string
+}
+
+var buckets = []bucket{
+	{"wpq", "queue", "wpq_wait_ns", "/wpq_wait_ns"},
+	{"lsq", "queue", "lsq_wait_ns", "/lsq_wait_ns"},
+	{"ait", "service", "ait_ns", "/ait_ns"},
+	{"media", "service", "media_read_ns", "/media/read_ns"},
+	{"media", "service", "media_write_ns", "/media/write_ns"},
+	{"wear", "service", "migration_ns", "/wear/migration_ns"},
+	{"dram", "service", "dram_access_ns", "/dram/access_ns"},
+}
+
+// Classification thresholds. Shares are fractions of the attributed total.
+const (
+	wearShareMin  = 0.10 // migration stalls are rare but enormous
+	writeFracMin  = 0.60 // "write-dominated" workload
+	partialMin    = 0.50 // partial combine groups forcing RMW fill reads
+	queueShareMin = 0.25 // WPQ+LSQ residency share marking drain backpressure
+	missRatioMin  = 0.50 // AIT lookups missing the on-DIMM DRAM buffer
+	mediaShareMin = 0.40 // demand media busy time
+)
+
+// Analyze attributes the dump's simulated time across the stage taxonomy and
+// names the regime. It returns nil when the dump carries nothing to
+// attribute (no stage-timing histograms — e.g. a power-fail run).
+func Analyze(d *obs.Dump) *Verdict {
+	if d == nil {
+		return nil
+	}
+
+	// Histogram sums, aggregated by suffix across components (all DIMMs, all
+	// iMC channels). Dump names are sorted, so accumulation order is fixed.
+	times := make([]uint64, len(buckets))
+	var total uint64
+	for i := range d.Histograms {
+		h := &d.Histograms[i]
+		for bi := range buckets {
+			if strings.HasSuffix(h.Name, buckets[bi].suffix) {
+				times[bi] += h.Sum
+				total += h.Sum
+				break
+			}
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+
+	att := make([]StageShare, 0, len(buckets))
+	for bi, b := range buckets {
+		if times[bi] == 0 {
+			continue
+		}
+		att = append(att, StageShare{
+			Stage:  b.stage,
+			Kind:   b.kind,
+			Name:   b.name,
+			TimeNs: times[bi],
+			Share:  round4(float64(times[bi]) / float64(total)),
+		})
+	}
+
+	// Dominant stage: largest attributed time, first-in-datapath-order wins
+	// ties. Summed per stage so media read+write compete as one stage.
+	perStage := map[string]uint64{}
+	for _, a := range att {
+		perStage[a.Stage] += a.TimeNs
+	}
+	dominant := ""
+	var domT uint64
+	for _, b := range buckets {
+		if t := perStage[b.stage]; dominant == "" || t > domT {
+			if _, seen := perStage[b.stage]; seen {
+				dominant, domT = b.stage, t
+			}
+		}
+	}
+
+	share := func(stage string) float64 { return float64(perStage[stage]) / float64(total) }
+	queueShare := share("wpq") + share("lsq")
+	mediaShare := share("media")
+	wearShare := share("wear")
+
+	// Counters, aggregated by suffix.
+	cnt := func(suffix string) uint64 {
+		var n uint64
+		for _, c := range d.Counters {
+			if strings.HasSuffix(c.Name, suffix) {
+				n += c.Value
+			}
+		}
+		return n
+	}
+	reads := cnt("/client_reads")
+	writes := cnt("/client_writes")
+	partials := cnt("/rmw_partials")
+	aitHits := cnt("/ait_hits")
+	aitMiss := cnt("/ait_line_misses") + cnt("/ait_sector_misses")
+	migrations := cnt("/wear/migrations")
+
+	var writeFrac, partialFrac, missRatio float64
+	if reads+writes > 0 {
+		writeFrac = float64(writes) / float64(reads+writes)
+	}
+	if writes > 0 {
+		partialFrac = float64(partials) / float64(writes)
+	}
+	if aitHits+aitMiss > 0 {
+		missRatio = float64(aitMiss) / float64(aitHits+aitMiss)
+	}
+
+	var regime string
+	switch {
+	case wearShare >= wearShareMin:
+		regime = RegimeWear
+	case writeFrac >= writeFracMin && partialFrac >= partialMin:
+		regime = RegimeRMW
+	case writeFrac >= writeFracMin && queueShare >= queueShareMin:
+		regime = RegimeWPQ
+	case missRatio >= missRatioMin:
+		regime = RegimeAIT
+	case mediaShare >= mediaShareMin:
+		regime = RegimeMedia
+	default:
+		regime = RegimeBalanced
+	}
+
+	ev := []string{
+		fmt.Sprintf("writes %d vs reads %d (write fraction %.4f)", writes, reads, round4(writeFrac)),
+		fmt.Sprintf("queue residency share %.4f (WPQ+LSQ wait)", round4(queueShare)),
+		fmt.Sprintf("AIT misses %d of %d lookups (miss ratio %.4f)", aitMiss, aitHits+aitMiss, round4(missRatio)),
+		fmt.Sprintf("partial RMW groups %d of %d writes (partial fraction %.4f)", partials, writes, round4(partialFrac)),
+		fmt.Sprintf("media busy share %.4f", round4(mediaShare)),
+		fmt.Sprintf("wear migrations %d (stall share %.4f)", migrations, round4(wearShare)),
+	}
+
+	return &Verdict{
+		Version:       Version,
+		Regime:        regime,
+		DominantStage: dominant,
+		Attribution:   att,
+		Evidence:      ev,
+	}
+}
+
+// round4 rounds to 4 decimal places so shares encode identically everywhere.
+func round4(x float64) float64 { return math.Round(x*1e4) / 1e4 }

@@ -1,0 +1,156 @@
+package bottleneck
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// mkDump assembles a synthetic observability dump from flat name->value maps,
+// appending entries in the given order (callers pass literal slices so the
+// order is fixed).
+func mkDump(counters []obs.CounterDump, hists []obs.HistogramDump) *obs.Dump {
+	return &obs.Dump{Counters: counters, Histograms: hists}
+}
+
+func TestAnalyzeNilAndEmpty(t *testing.T) {
+	if v := Analyze(nil); v != nil {
+		t.Fatalf("Analyze(nil) = %+v, want nil", v)
+	}
+	if v := Analyze(&obs.Dump{}); v != nil {
+		t.Fatalf("Analyze(empty) = %+v, want nil", v)
+	}
+	// Counters without any stage-timing histograms still attribute nothing.
+	d := mkDump([]obs.CounterDump{{Name: "dimm0/client_reads", Value: 10}}, nil)
+	if v := Analyze(d); v != nil {
+		t.Fatalf("Analyze(counters only) = %+v, want nil", v)
+	}
+}
+
+func TestRegimeRMWCombine(t *testing.T) {
+	// Write-dominated with most combine groups partial: the RMW rule must win
+	// even though queue share also clears its threshold (RMW tests first).
+	d := mkDump(
+		[]obs.CounterDump{
+			{Name: "dimm0/client_writes", Value: 100},
+			{Name: "dimm0/rmw_partials", Value: 80},
+		},
+		[]obs.HistogramDump{
+			{Name: "imc0/wpq_wait_ns", Sum: 30_000, Count: 100},
+			{Name: "dimm0/ait_ns", Sum: 20_000, Count: 100},
+			{Name: "dimm0/media/write_ns", Sum: 50_000, Count: 100},
+		},
+	)
+	v := Analyze(d)
+	if v == nil || v.Regime != RegimeRMW {
+		t.Fatalf("regime = %+v, want %s", v, RegimeRMW)
+	}
+	if v.DominantStage != "media" {
+		t.Fatalf("dominant stage = %q, want media", v.DominantStage)
+	}
+}
+
+func TestRegimeMediaBandwidth(t *testing.T) {
+	// Read stream hitting the AIT but saturating the media: no write or miss
+	// rule fires, media busy share carries the verdict.
+	d := mkDump(
+		[]obs.CounterDump{
+			{Name: "dimm0/client_reads", Value: 1000},
+			{Name: "dimm0/ait_hits", Value: 900},
+			{Name: "dimm0/ait_line_misses", Value: 100},
+		},
+		[]obs.HistogramDump{
+			{Name: "dimm0/ait_ns", Sum: 20_000, Count: 1000},
+			{Name: "dimm0/media/read_ns", Sum: 70_000, Count: 1000},
+			{Name: "dimm0/dram/access_ns", Sum: 10_000, Count: 1000},
+		},
+	)
+	v := Analyze(d)
+	if v == nil || v.Regime != RegimeMedia {
+		t.Fatalf("regime = %+v, want %s", v, RegimeMedia)
+	}
+}
+
+func TestRegimeBalanced(t *testing.T) {
+	// Nothing clears a threshold: mixed traffic, healthy AIT, idle wear.
+	d := mkDump(
+		[]obs.CounterDump{
+			{Name: "dimm0/client_reads", Value: 500},
+			{Name: "dimm0/client_writes", Value: 500},
+			{Name: "dimm0/ait_hits", Value: 900},
+			{Name: "dimm0/ait_line_misses", Value: 100},
+		},
+		[]obs.HistogramDump{
+			{Name: "imc0/wpq_wait_ns", Sum: 10_000, Count: 500},
+			{Name: "dimm0/ait_ns", Sum: 40_000, Count: 1000},
+			{Name: "dimm0/media/read_ns", Sum: 20_000, Count: 500},
+			{Name: "dimm0/media/write_ns", Sum: 15_000, Count: 500},
+			{Name: "dimm0/dram/access_ns", Sum: 15_000, Count: 1000},
+		},
+	)
+	v := Analyze(d)
+	if v == nil || v.Regime != RegimeBalanced {
+		t.Fatalf("regime = %+v, want %s", v, RegimeBalanced)
+	}
+	if v.DominantStage != "ait" {
+		t.Fatalf("dominant stage = %q, want ait", v.DominantStage)
+	}
+}
+
+func TestSuffixMatchingIsAnchored(t *testing.T) {
+	// "wpq_wait_ns" must not swallow "ait_ns"-suffixed names and vice versa:
+	// the matcher anchors on the component separator.
+	d := mkDump(nil, []obs.HistogramDump{
+		{Name: "dimm0/ait_ns", Sum: 100, Count: 1},
+		{Name: "imc0/wpq_wait_ns", Sum: 900, Count: 1},
+	})
+	v := Analyze(d)
+	if v == nil {
+		t.Fatal("no verdict")
+	}
+	var ait, wpq uint64
+	for _, a := range v.Attribution {
+		switch a.Stage {
+		case "ait":
+			ait = a.TimeNs
+		case "wpq":
+			wpq = a.TimeNs
+		}
+	}
+	if ait != 100 || wpq != 900 {
+		t.Fatalf("attribution ait=%d wpq=%d, want 100/900", ait, wpq)
+	}
+}
+
+func TestCanonicalByteIdentical(t *testing.T) {
+	// Same data in different dump orders must produce byte-identical verdicts:
+	// the attribution keeps datapath order regardless of input order.
+	a := mkDump(
+		[]obs.CounterDump{
+			{Name: "dimm0/client_writes", Value: 100},
+			{Name: "dimm0/client_reads", Value: 50},
+		},
+		[]obs.HistogramDump{
+			{Name: "imc0/wpq_wait_ns", Sum: 40_000, Count: 10},
+			{Name: "dimm0/media/write_ns", Sum: 60_000, Count: 10},
+		},
+	)
+	b := mkDump(
+		[]obs.CounterDump{
+			{Name: "dimm0/client_reads", Value: 50},
+			{Name: "dimm0/client_writes", Value: 100},
+		},
+		[]obs.HistogramDump{
+			{Name: "dimm0/media/write_ns", Sum: 60_000, Count: 10},
+			{Name: "imc0/wpq_wait_ns", Sum: 40_000, Count: 10},
+		},
+	)
+	va, vb := Analyze(a), Analyze(b)
+	if va == nil || vb == nil {
+		t.Fatal("no verdict")
+	}
+	if !bytes.Equal(va.Canonical(), vb.Canonical()) {
+		t.Fatalf("verdicts differ:\n%s\n%s", va.Canonical(), vb.Canonical())
+	}
+}

@@ -33,7 +33,7 @@ import (
 // any incompatible change to a SaveState field order; it is also stamped
 // into the nvmserved canonical job hash so cached results and snapshots from
 // different format eras can never satisfy each other.
-const FormatVersion uint16 = 2
+const FormatVersion uint16 = 3
 
 // magic identifies a sealed snapshot.
 var magic = [6]byte{'N', 'V', 'C', 'K', 'P', 'T'}

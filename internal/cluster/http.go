@@ -21,6 +21,9 @@ import (
 //	POST /v1/cluster/jobs         dispatch one job through the ring (waits)
 //	POST /v1/cluster/sweep        fan a sweep across the fleet (NDJSON)
 //	GET  /v1/cluster/info         membership, peer health, cluster counters
+//	GET  /v1/dashboard            embedded fleet dashboard web UI
+//	GET  /v1/dashboard/data       fleet-wide dashboard aggregation (JSON)
+//	GET  /v1/dashboard/local      this node's dashboard contribution
 //	GET  /v1/peer/result/{hash}   canonical result by job hash (peer fill)
 //	POST /v1/peer/run             execute a job locally and return its result
 //	GET  /v1/peer/ckpt/{hash}     durable job snapshot (preemption migration)
@@ -35,6 +38,9 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/cluster/jobs", n.handleClusterJob)
 	mux.HandleFunc("POST /v1/cluster/sweep", n.handleClusterSweep)
 	mux.HandleFunc("GET /v1/cluster/info", n.handleClusterInfo)
+	mux.HandleFunc("GET /v1/dashboard", n.handleDashboard)
+	mux.HandleFunc("GET /v1/dashboard/data", n.handleDashboardData)
+	mux.HandleFunc("GET /v1/dashboard/local", n.handleDashboardLocal)
 	mux.HandleFunc("GET /v1/peer/result/{hash}", n.handlePeerResult)
 	mux.HandleFunc("POST /v1/peer/run", n.handlePeerRun)
 	mux.HandleFunc("GET /v1/peer/ckpt/{hash}", n.handlePeerCkptGet)

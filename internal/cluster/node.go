@@ -790,6 +790,7 @@ type PeerInfo struct {
 // InfoSnapshot is the JSON shape of GET /v1/cluster/info.
 type InfoSnapshot struct {
 	Self             string     `json:"self"`
+	Revision         string     `json:"revision"`
 	VNodes           int        `json:"vnodes"`
 	Peers            []PeerInfo `json:"peers"`
 	PeersUnhealthy   int        `json:"peers_unhealthy"`
@@ -823,6 +824,7 @@ type InfoSnapshot struct {
 func (n *Node) Info() InfoSnapshot {
 	s := InfoSnapshot{
 		Self:             n.cfg.SelfID,
+		Revision:         server.BuildRevision(),
 		VNodes:           n.cfg.VNodes,
 		HedgeBudgetMs:    float64(n.hedgeDelay()) / float64(time.Millisecond),
 		DispatchLocal:    n.m.dispatchLocal.Load(),

@@ -237,6 +237,31 @@ func (c *Client) PushCkpt(ctx context.Context, baseURL, hash string, snap []byte
 	return nil
 }
 
+// FetchDashboard asks baseURL for its local dashboard contribution
+// (GET /v1/dashboard/local): node metrics, verdict tallies, and per-stage
+// latency distributions, feeding the fleet dashboard aggregation.
+func (c *Client) FetchDashboard(ctx context.Context, baseURL string) (NodeDash, error) {
+	var nd NodeDash
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		baseURL+"/v1/dashboard/local", nil)
+	if err != nil {
+		return nd, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nd, &peerError{transport: true, msg: err.Error()}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nd, readPeerError(resp)
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxResultBytes)).Decode(&nd); err != nil {
+		return nd, &peerError{corrupt: true, status: resp.StatusCode,
+			msg: "undecodable dashboard payload: " + err.Error()}
+	}
+	return nd, nil
+}
+
 // Health probes baseURL's /v1/healthz under the client's own probe timeout
 // (one hung peer must not stall probing for the full peer-run budget),
 // returning the status code and the probe round-trip time. A 503 from a

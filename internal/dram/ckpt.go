@@ -56,6 +56,7 @@ func (c *Controller) SaveState(enc *ckpt.Enc) error {
 	enc.U64(c.stats.RowConf)
 	enc.U64(c.stats.Refreshes)
 	enc.U64(uint64(c.stats.DataCycles))
+	c.histAccess.SaveState(enc)
 	return nil
 }
 
@@ -117,5 +118,8 @@ func (c *Controller) LoadState(dec *ckpt.Dec) error {
 	c.stats.RowConf = dec.U64()
 	c.stats.Refreshes = dec.U64()
 	c.stats.DataCycles = sim.Cycle(dec.U64())
+	if err := c.histAccess.LoadState(dec); err != nil {
+		return err
+	}
 	return dec.Err()
 }

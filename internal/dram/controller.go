@@ -75,6 +75,9 @@ type Controller struct {
 
 	o    *obs.Obs
 	comp string
+	// histAccess records per-access data-phase duration in ns (nil without
+	// an attached Obs).
+	histAccess *obs.Histogram
 }
 
 // NewController returns a controller on eng with cfg (zero fields defaulted).
@@ -114,6 +117,7 @@ func NewController(eng *sim.Engine, cfg Config) *Controller {
 		c.o.RegisterPtr(c.comp, "row_conflicts", &c.stats.RowConf)
 		c.o.RegisterPtr(c.comp, "refreshes", &c.stats.Refreshes)
 		c.o.RegisterFunc(c.comp, "data_cycles", func() uint64 { return uint64(c.stats.DataCycles) })
+		c.histAccess = c.o.Histogram(c.comp, "access_ns", nil)
 	}
 	return c
 }
@@ -389,6 +393,9 @@ func (c *Controller) serviceNext() {
 		b.nextACT = maxCycle(b.nextACT, preAt+t.TRP)
 	}
 
+	if c.histAccess != nil {
+		c.histAccess.Observe(uint64(float64(dataEnd-rwAt) / CyclesPerNano))
+	}
 	if c.o.Active() {
 		c.o.Emit(obs.Event{Now: rwAt, Stage: obs.StageDRAM, Pos: obs.PosIssue,
 			Write: p.write, Comp: c.comp, Addr: p.req.Addr, Arg: uint64(dataEnd - rwAt)})

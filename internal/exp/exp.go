@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/bottleneck"
 	"repro/internal/lens"
 	"repro/internal/obs"
 	"repro/internal/optane"
@@ -185,6 +186,9 @@ type Outcome struct {
 	// Digest summarizes the run's observability counters (events fired,
 	// media traffic, migrations, peak queue depth).
 	Digest obs.Digest
+	// Verdict is the bottleneck analysis over the experiment's aggregated
+	// observability dump (nil when the experiment recorded no stage time).
+	Verdict *bottleneck.Verdict
 }
 
 // RunMany executes the given experiments across the pool's worker budget and
@@ -200,7 +204,8 @@ func RunMany(ids []string, sc Scale) []Outcome {
 		start := time.Now()
 		r, err := Run(ids[i], scRun)
 		out[i] = Outcome{ID: ids[i], Res: r, Err: err,
-			Elapsed: time.Since(start), Digest: scRun.Obs.Digest()}
+			Elapsed: time.Since(start), Digest: scRun.Obs.Digest(),
+			Verdict: bottleneck.Analyze(scRun.Obs.Dump())}
 	})
 	return out
 }

@@ -23,6 +23,7 @@ func (ch *Channel) SaveState(enc *ckpt.Enc) {
 	enc.U64(ch.reads)
 	enc.U64(ch.writes)
 	enc.U64(ch.forwards)
+	ch.histWait.SaveState(enc)
 }
 
 // LoadState restores a channel captured by SaveState.
@@ -40,6 +41,9 @@ func (ch *Channel) LoadState(dec *ckpt.Dec) error {
 	ch.reads = dec.U64()
 	ch.writes = dec.U64()
 	ch.forwards = dec.U64()
+	if err := ch.histWait.LoadState(dec); err != nil {
+		return err
+	}
 	return dec.Err()
 }
 

@@ -277,8 +277,9 @@ type Channel struct {
 	writes   uint64
 	forwards uint64
 
-	o    *obs.Obs
-	comp string
+	o        *obs.Obs
+	comp     string
+	histWait *obs.Histogram // WPQ residency (enqueue -> drain pop), ns
 }
 
 func newChannel(eng *sim.Engine, cfg Config, d *nvdimm.DIMM, idx int) *Channel {
@@ -300,6 +301,7 @@ func newChannel(eng *sim.Engine, cfg Config, d *nvdimm.DIMM, idx int) *Channel {
 		ch.o.RegisterPtr(ch.comp, "writes", &ch.writes)
 		ch.o.RegisterPtr(ch.comp, "wpq_forwards", &ch.forwards)
 		ch.o.RegisterFunc(ch.comp, "wpq_merges", ch.wpq.Merges)
+		ch.histWait = ch.o.Histogram(ch.comp, "wpq_wait_ns", nil)
 	}
 	return ch
 }
@@ -424,6 +426,14 @@ func (ch *Channel) drainStep() {
 		// The WPQ combines at 64B granularity: one line per group.
 		ch.drainLine = g.Block
 		ch.haveDrain = true
+		if ch.histWait != nil {
+			now := ch.eng.Now()
+			if now > g.Enq {
+				ch.histWait.Observe(uint64(float64(now-g.Enq) / dram.CyclesPerNano))
+			} else {
+				ch.histWait.Observe(0)
+			}
+		}
 		if ch.o.Active() {
 			ch.o.Emit(obs.Event{Now: ch.eng.Now(), Stage: obs.StageWPQ, Pos: obs.PosDequeue,
 				Write: true, Comp: ch.comp, Addr: g.Block})

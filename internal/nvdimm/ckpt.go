@@ -236,6 +236,7 @@ func (w *WearLeveler) SaveState(enc *ckpt.Enc) {
 		enc.U64(ev.Partner)
 		enc.U64(ev.TriggerCPU)
 	}
+	w.histMig.SaveState(enc)
 }
 
 // LoadState restores a wear-leveler captured by SaveState.
@@ -264,6 +265,9 @@ func (w *WearLeveler) LoadState(dec *ckpt.Dec) error {
 			Partner:    dec.U64(),
 			TriggerCPU: dec.U64(),
 		})
+	}
+	if err := w.histMig.LoadState(dec); err != nil {
+		return err
 	}
 	return dec.Err()
 }
@@ -304,7 +308,12 @@ func (d *DIMM) SaveState(enc *ckpt.Enc) error {
 	d.trans.SaveState(enc)
 	d.wear.SaveState(enc)
 	d.med.SaveState(enc)
-	return d.dramC.SaveState(enc)
+	if err := d.dramC.SaveState(enc); err != nil {
+		return err
+	}
+	d.histLSQWait.SaveState(enc)
+	d.histAIT.SaveState(enc)
+	return nil
 }
 
 // LoadState restores a DIMM captured by SaveState into a freshly built DIMM
@@ -352,5 +361,11 @@ func (d *DIMM) LoadState(dec *ckpt.Dec) error {
 	if err := d.med.LoadState(dec); err != nil {
 		return err
 	}
-	return d.dramC.LoadState(dec)
+	if err := d.dramC.LoadState(dec); err != nil {
+		return err
+	}
+	if err := d.histLSQWait.LoadState(dec); err != nil {
+		return err
+	}
+	return d.histAIT.LoadState(dec)
 }

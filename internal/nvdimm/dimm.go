@@ -69,6 +69,11 @@ type DIMM struct {
 
 	o    *obs.Obs
 	comp string
+	// histLSQWait records LSQ residency (enqueue -> drain pop) and histAIT
+	// the full AIT operation latency (lookup through buffer/media service),
+	// both in ns; nil when no Obs is attached so the hot path skips them.
+	histLSQWait *obs.Histogram
+	histAIT     *obs.Histogram
 }
 
 // dramRegion layout inside the on-DIMM DRAM: translation table first, then
@@ -132,6 +137,9 @@ func New(eng *sim.Engine, cfg Config, seed uint64) *DIMM {
 		o.RegisterFunc(comp, "ait_line_misses", d.buf.Misses)
 		o.RegisterFunc(comp, "ait_sector_misses", d.buf.SectorMisses)
 		o.RegisterFunc(d.wear.comp, "migrations", d.wear.Migrations)
+		d.histLSQWait = o.Histogram(comp, "lsq_wait_ns", nil)
+		d.histAIT = o.Histogram(comp, "ait_ns", nil)
+		d.wear.histMig = o.Histogram(d.wear.comp, "migration_ns", nil)
 	}
 	return d
 }
@@ -355,6 +363,14 @@ func (d *DIMM) aitRead(block uint64, done func(error)) {
 	page := d.page(block)
 	sector := d.sector(block)
 	d.stats.TableReads++
+	if d.histAIT != nil {
+		start := d.eng.Now()
+		inner := done
+		done = func(err error) {
+			d.histAIT.Observe(uint64(float64(d.eng.Now()-start) / dram.CyclesPerNano))
+			inner(err)
+		}
+	}
 	if d.o.Active() {
 		d.o.Emit(obs.Event{Now: d.eng.Now(), Stage: obs.StageAIT, Pos: obs.PosIssue,
 			Comp: d.comp, Addr: block})
@@ -465,6 +481,14 @@ func (d *DIMM) aitWrite(block uint64, done func()) {
 	page := d.page(block)
 	sector := d.sector(block)
 	d.stats.TableReads++
+	if d.histAIT != nil {
+		start := d.eng.Now()
+		inner := done
+		done = func() {
+			d.histAIT.Observe(uint64(float64(d.eng.Now()-start) / dram.CyclesPerNano))
+			inner()
+		}
+	}
 	if d.o.Active() {
 		d.o.Emit(obs.Event{Now: d.eng.Now(), Stage: obs.StageAIT, Pos: obs.PosIssue,
 			Write: true, Comp: d.comp, Addr: block})
@@ -564,6 +588,13 @@ func (d *DIMM) drainStep() {
 	if !ok {
 		d.draining = false
 		return
+	}
+	if d.histLSQWait != nil {
+		if now > g.Enq {
+			d.histLSQWait.Observe(uint64(float64(now-g.Enq) / dram.CyclesPerNano))
+		} else {
+			d.histLSQWait.Observe(0)
+		}
 	}
 	if d.o.Active() {
 		d.o.Emit(obs.Event{Now: now, Stage: obs.StageLSQ, Pos: obs.PosDequeue,

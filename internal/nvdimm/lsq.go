@@ -124,6 +124,9 @@ func (q *LSQ) OldestAge(now sim.Cycle) sim.Cycle {
 type Group struct {
 	Block uint64
 	Mask  uint16
+	// Enq is the enqueue cycle of the oldest entry in the group — the queue
+	// residency anchor the wait histograms measure against.
+	Enq sim.Cycle
 }
 
 // Lines returns the count of 64B lines in the group.
@@ -156,7 +159,7 @@ func (q *LSQ) PopGroup() (Group, bool) {
 		return Group{}, false
 	}
 	block := oldest.line - oldest.line%q.combine
-	g := Group{Block: block}
+	g := Group{Block: block, Enq: oldest.enq}
 	for l := block; l < block+q.combine; l += 64 {
 		if i, ok := q.slots[l]; ok {
 			g.Mask |= 1 << ((l - block) / 64)

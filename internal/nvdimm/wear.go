@@ -1,6 +1,7 @@
 package nvdimm
 
 import (
+	"repro/internal/dram"
 	"repro/internal/media"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -41,6 +42,8 @@ type WearLeveler struct {
 
 	o    *obs.Obs
 	comp string
+	// histMig records per-migration stall duration in ns (nil without Obs).
+	histMig *obs.Histogram
 }
 
 // NewWearLeveler wires a leveler to the media and translator.
@@ -135,6 +138,9 @@ func (w *WearLeveler) migrate(mediaAddr uint64) sim.Cycle {
 	w.migrations++
 	w.events = append(w.events, MigrationEvent{
 		At: w.eng.Now(), Block: worn, Partner: partner, TriggerCPU: triggerCPU})
+	if w.histMig != nil {
+		w.histMig.Observe(uint64(float64(w.stall) / dram.CyclesPerNano))
+	}
 	if w.o.Active() {
 		w.o.Emit(obs.Event{Now: w.eng.Now(), Stage: obs.StageWear, Pos: obs.PosMigrate,
 			Write: true, Comp: w.comp, Addr: worn, Arg: uint64(w.stall)})

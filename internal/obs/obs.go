@@ -494,6 +494,20 @@ type HistogramDump struct {
 	Counts []uint64 `json:"counts"`
 }
 
+// DumpAs flattens h into a named HistogramDump — the wire shape used by job
+// results and the fleet dashboard. Nil-safe (returns a zero dump carrying
+// only the name).
+func (h *Histogram) DumpAs(name string) HistogramDump {
+	if h == nil {
+		return HistogramDump{Name: name}
+	}
+	return HistogramDump{
+		Name: name, Count: h.N(), Sum: h.Sum(), Min: h.Min(), Max: h.Max(),
+		P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
+		Bounds: h.Bounds(), Counts: h.Counts(),
+	}
+}
+
 // Dump is the flat aggregated view of an Obs family: every counter and
 // histogram of the context and its children, same-name entries summed or
 // merged, sorted by name. It marshals to flat JSON and renders as a table.

@@ -1,0 +1,48 @@
+package server
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+var (
+	buildOnce sync.Once
+	buildRev  string
+)
+
+// BuildRevision returns the VCS revision compiled into the binary
+// (runtime/debug.ReadBuildInfo vcs.revision, with a ".dirty" suffix when the
+// working tree was modified). Builds outside a VCS checkout — go test
+// binaries, source-only distributions — report "unknown". The value surfaces
+// on /v1/healthz, /v1/cluster/info, and the nvmserved_build_info gauge so a
+// fleet's members can be checked for skew from any one scrape.
+func BuildRevision() string {
+	buildOnce.Do(func() {
+		buildRev = "unknown"
+		info, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		var rev string
+		dirty := false
+		for _, kv := range info.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				rev = kv.Value
+			case "vcs.modified":
+				dirty = kv.Value == "true"
+			}
+		}
+		if rev == "" {
+			return
+		}
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if dirty {
+			rev += ".dirty"
+		}
+		buildRev = rev
+	})
+	return buildRev
+}

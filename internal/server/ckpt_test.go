@@ -449,7 +449,7 @@ func TestCkptValidation(t *testing.T) {
 
 	// Hash v4: the snapshot format version is stamped into every job hash,
 	// and the barrier spacing is part of the plan identity.
-	if want := fmt.Sprintf("nvmserved/4:ckpt%d:", ckpt.FormatVersion); hashVersion != want {
+	if want := fmt.Sprintf("nvmserved/5:ckpt%d:", ckpt.FormatVersion); hashVersion != want {
 		t.Errorf("hashVersion %q, want %q", hashVersion, want)
 	}
 	p0, err := base.Compile()

@@ -1,0 +1,31 @@
+package server
+
+import (
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// StageDumps flattens the service-wide merged per-stage simulated-latency
+// histograms (the same distributions behind nvmserved_stage_latency_ns) into
+// their wire shape, sorted by stage name so the slice is deterministic for a
+// given service state. The fleet dashboard aggregates these across members.
+func (s *Server) StageDumps() []obs.HistogramDump {
+	stages := s.metrics.stageSnapshot()
+	names := make([]string, 0, len(stages))
+	for name := range stages {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]obs.HistogramDump, 0, len(names))
+	for _, name := range names {
+		out = append(out, stages[name].DumpAs(name))
+	}
+	return out
+}
+
+// VerdictCounts returns completed jobs bucketed by named bottleneck regime
+// (nil until the first job produces a verdict).
+func (s *Server) VerdictCounts() map[string]uint64 {
+	return s.metrics.verdictSnapshot()
+}

@@ -128,6 +128,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status          string `json:"status"`
 		NodeID          string `json:"node_id,omitempty"`
 		Addr            string `json:"addr,omitempty"`
+		Revision        string `json:"revision"`
 		Draining        bool   `json:"draining"`
 		Breaker         string `json:"breaker"`
 		BreakerFailures int    `json:"breaker_failures,omitempty"`
@@ -139,7 +140,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		CacheEntries    int    `json:"cache_entries"`
 		CacheCapacity   int    `json:"cache_capacity"`
 	}
-	h := health{Status: "ok", Draining: s.Draining()}
+	h := health{Status: "ok", Revision: BuildRevision(), Draining: s.Draining()}
 	h.NodeID, h.Addr = s.Identity()
 	h.Breaker, h.BreakerFailures, h.BreakerOpens = s.BreakerState()
 	h.Workers = s.opts.Workers

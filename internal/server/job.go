@@ -71,6 +71,10 @@ type ConfigSpec struct {
 	MediaBytes string `json:"media_bytes,omitempty"`
 	// DRAMCache sizes the Memory-mode near cache ("1G").
 	DRAMCache string `json:"dram_cache,omitempty"`
+	// WearThreshold overrides the per-block write count that triggers a
+	// wear-leveling migration (default 14000). Small values make migration
+	// tails reachable in short runs.
+	WearThreshold uint64 `json:"wear_threshold,omitempty"`
 	// Seed drives stochastic model choices (wear-leveling partners).
 	// Default 1.
 	Seed uint64 `json:"seed,omitempty"`
@@ -110,11 +114,12 @@ const (
 )
 
 // hashVersion re-keys the cache whenever the plan layout or runner semantics
-// change incompatibly. v4: the plan gained checkpoint barriers (ckpt_every)
-// and warm-start prefixes, and the tag carries the snapshot format version —
-// a snapshot from one format can never masquerade as resumable state for a
-// job hashed under another.
-var hashVersion = fmt.Sprintf("nvmserved/4:ckpt%d:", ckpt.FormatVersion)
+// change incompatibly. v5: the plan gained the wear-threshold override, the
+// model grew per-stage latency histograms (serialized into snapshots and
+// part of every result dump), and results now carry a bottleneck verdict.
+// The tag carries the snapshot format version — a snapshot from one format
+// can never masquerade as resumable state for a job hashed under another.
+var hashVersion = fmt.Sprintf("nvmserved/5:ckpt%d:", ckpt.FormatVersion)
 
 // WorkloadPlan is the validated, fully defaulted form of one WorkloadSpec.
 // The main workload stays flattened into Plan (stable field layout); the
@@ -140,6 +145,7 @@ type Plan struct {
 	Mode         string        `json:"mode"`
 	MediaBytes   uint64        `json:"media_bytes"`
 	DRAMCache    uint64        `json:"dram_cache"`
+	WearThresh   uint64        `json:"wear_threshold"`
 	CfgSeed      uint64        `json:"cfg_seed"`
 	Kind         string        `json:"kind"`
 	Region       uint64        `json:"region"`
@@ -227,6 +233,9 @@ func (p *Plan) VansConfig() vans.Config {
 	if p.MediaBytes != 0 {
 		cfg.NV.Media.Capacity = p.MediaBytes
 	}
+	if p.WearThresh != 0 {
+		cfg.NV.WearThreshold = p.WearThresh
+	}
 	cfg.DRAMCacheBytes = p.DRAMCache
 	cfg.Seed = p.CfgSeed
 	cfg.Fault = p.Fault
@@ -273,6 +282,7 @@ func (s JobSpec) Compile() (*Plan, error) {
 	if p.DRAMCache, err = units.ParseBytesDefault(s.Config.DRAMCache, 0); err != nil {
 		return nil, fmt.Errorf("config.dram_cache: %v", err)
 	}
+	p.WearThresh = s.Config.WearThreshold
 	p.CfgSeed = s.Config.Seed
 	if p.CfgSeed == 0 {
 		p.CfgSeed = 1

@@ -41,7 +41,9 @@ type Metrics struct {
 	// completed job's observability dump, keyed by dump name
 	// ("dimm0/media/read_ns"). Served as Prometheus histograms.
 	stages map[string]*obs.Histogram
-	start  time.Time
+	// verdicts counts completed jobs by named bottleneck regime.
+	verdicts map[string]uint64
+	start    time.Time
 }
 
 // maxExactLatencySamples bounds the exact job-latency accumulator; beyond it
@@ -57,6 +59,7 @@ func newMetrics() *Metrics {
 		latencyExact: sim.NewAccumulator(),
 		latencyHist:  obs.NewHistogram(latencyNsBounds()),
 		stages:       make(map[string]*obs.Histogram),
+		verdicts:     make(map[string]uint64),
 		start:        time.Now(),
 	}
 }
@@ -129,6 +132,31 @@ func (m *Metrics) mergeStages(d *obs.Dump) {
 	m.mu.Unlock()
 }
 
+// countVerdict records one completed job's bottleneck regime.
+func (m *Metrics) countVerdict(regime string) {
+	if regime == "" {
+		return
+	}
+	m.mu.Lock()
+	m.verdicts[regime]++
+	m.mu.Unlock()
+}
+
+// verdictSnapshot copies the per-regime verdict counts (nil when no job has
+// produced a verdict yet, so JSON omits the field).
+func (m *Metrics) verdictSnapshot() map[string]uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.verdicts) == 0 {
+		return nil
+	}
+	out := make(map[string]uint64, len(m.verdicts))
+	for k, v := range m.verdicts {
+		out[k] = v
+	}
+	return out
+}
+
 // stageSnapshot copies the merged per-stage histograms for rendering outside
 // the lock.
 func (m *Metrics) stageSnapshot() map[string]*obs.Histogram {
@@ -181,6 +209,8 @@ type MetricsSnapshot struct {
 	CacheEntries      int         `json:"cache_entries"`
 	CacheHitRate      float64     `json:"cache_hit_rate"`
 	JobLatencyMs      sim.Summary `json:"job_latency_ms"`
+	// Verdicts counts completed jobs by named bottleneck regime.
+	Verdicts map[string]uint64 `json:"verdicts,omitempty"`
 }
 
 // snapshot folds in the gauges owned by the scheduler (queue depth, busy
@@ -214,6 +244,12 @@ func (m *Metrics) snapshot(workers, workersBusy, queueDepth, queueCap, cacheLen 
 		CacheMisses:       m.cacheMisses,
 		CacheEntries:      cacheLen,
 		JobLatencyMs:      m.latencySummaryLocked(),
+	}
+	if len(m.verdicts) > 0 {
+		s.Verdicts = make(map[string]uint64, len(m.verdicts))
+		for k, v := range m.verdicts {
+			s.Verdicts[k] = v
+		}
 	}
 	if lookups := m.cacheHits + m.cacheMisses; lookups > 0 {
 		s.CacheHitRate = float64(m.cacheHits) / float64(lookups)

@@ -38,6 +38,8 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 	}
 
+	fmt.Fprintf(&b, "# HELP nvmserved_build_info Build identity (VCS revision) of this binary.\n"+
+		"# TYPE nvmserved_build_info gauge\nnvmserved_build_info{revision=%q} 1\n", BuildRevision())
 	gaugeF("nvmserved_uptime_seconds", "Seconds since the server started.", snap.UptimeSeconds)
 	gaugeI("nvmserved_workers", "Worker pool size.", snap.Workers)
 	gaugeI("nvmserved_workers_busy", "Workers currently executing a job.", snap.WorkersBusy)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/bottleneck"
 	"repro/internal/ckpt"
 	"repro/internal/cpu"
 	"repro/internal/dram"
@@ -39,6 +40,11 @@ type Result struct {
 	// deterministic (sorted names, cycle-derived values), so byte-identity
 	// of canonical results is preserved.
 	Obs *obs.Dump `json:"obs,omitempty"`
+	// Verdict is the bottleneck analysis computed from Obs: dominant stage,
+	// time attribution, and named regime. Derived purely from the dump, so it
+	// inherits the dump's determinism (same job hash => byte-identical
+	// verdict). Nil for runs with nothing to attribute (power-fail jobs).
+	Verdict *bottleneck.Verdict `json:"verdict,omitempty"`
 	// Crash is the crash-consistency report of a power-fail job (nil
 	// otherwise). Like everything else here it is simulation-domain only.
 	Crash *fault.CrashReport `json:"crash,omitempty"`
@@ -336,6 +342,7 @@ func (rn *Runner) RunAttemptCkpt(ctx context.Context, p *Plan, attempt int, io *
 		Obs:           o.Dump(),
 		trace:         lt,
 	}
+	res.Verdict = bottleneck.Analyze(res.Obs)
 	return res, nil
 }
 

@@ -89,9 +89,12 @@ type JobStatus struct {
 	Checkpoints int `json:"checkpoints,omitempty"`
 	// WarmStarted marks a run that skipped its warmup prefix by restoring a
 	// cached warm snapshot.
-	WarmStarted bool    `json:"warm_started,omitempty"`
-	QueuedMs    float64 `json:"queued_ms"`
-	RunMs       float64 `json:"run_ms"`
+	WarmStarted bool `json:"warm_started,omitempty"`
+	// Regime is the named bottleneck regime from the result's verdict
+	// (present once the job is done and the run produced a verdict).
+	Regime   string  `json:"regime,omitempty"`
+	QueuedMs float64 `json:"queued_ms"`
+	RunMs    float64 `json:"run_ms"`
 }
 
 // Options configures a Server. Zero fields take defaults.
@@ -540,6 +543,9 @@ func (s *Server) finalize(j *Job, res *Result, err error, wall time.Duration) {
 		s.cache.Put(j.hash, res)
 		s.metrics.jobCompleted(wall)
 		s.metrics.mergeStages(res.Obs)
+		if res.Verdict != nil {
+			s.metrics.countVerdict(res.Verdict.Regime)
+		}
 		s.brk.RecordSuccess()
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		j.state = JobCanceled
@@ -590,6 +596,9 @@ func (j *Job) statusLocked() JobStatus {
 	st := JobStatus{ID: j.id, Hash: j.hash, State: j.state, Cached: j.cached,
 		PeerFilled: j.peer, Error: j.err, ResumedFrom: j.resumedFrom,
 		Checkpoints: j.checkpoints, WarmStarted: j.warmStarted}
+	if j.result != nil && j.result.Verdict != nil {
+		st.Regime = j.result.Verdict.Regime
+	}
 	switch j.state {
 	case JobQueued:
 		st.QueuedMs = float64(time.Since(j.submitted)) / float64(time.Millisecond)
